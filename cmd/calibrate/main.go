@@ -1,0 +1,47 @@
+// Command calibrate reports how closely the synthetic benchmark profiles
+// match the paper's Table 2/3 characteristics. It is the tool used to tune
+// internal/synth/profiles.go; EXPERIMENTS.md records its final output.
+//
+// Usage:
+//
+//	calibrate [-insts N] [-bench name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specfetch/internal/experiments"
+	"specfetch/internal/synth"
+)
+
+func main() {
+	insts := flag.Int64("insts", 2_000_000, "instructions to simulate per benchmark")
+	bench := flag.String("bench", "", "only this benchmark (default: all)")
+	flag.Parse()
+
+	fmt.Printf("%-8s %-7s | %7s %7s %5s | %7s %7s | %7s %7s | %7s %7s | %7s %7s | %7s %7s | %8s\n",
+		"bench", "lang", "br%", "paper", "cnd%", "m8K", "paper", "m32K", "paper",
+		"phtB1", "paper", "phtB4", "paper", "btbMF", "paper", "static")
+	for _, p := range synth.Profiles() {
+		if *bench != "" && p.Name != *bench {
+			continue
+		}
+		b, err := synth.Build(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "build %s: %v\n", p.Name, err)
+			os.Exit(1)
+		}
+		c, err := experiments.Characterize(b, *insts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "characterize %s: %v\n", p.Name, err)
+			os.Exit(1)
+		}
+		t := synth.PaperTargets[p.Name]
+		fmt.Printf("%-8s %-7s | %7.1f %7.1f %5.1f | %7.2f %7.2f | %7.2f %7.2f | %7.2f %7.2f | %7.2f %7.2f | %7.2f %7.2f | %8d\n",
+			c.Name, c.Lang, c.BranchPct, t.BranchPct, c.CondPct, c.Miss8K, t.Miss8K, c.Miss32K, t.Miss32K,
+			c.PHTISPIB1, t.PHTISPIB1, c.PHTISPIB4, t.PHTISPIB4,
+			c.BTBMisfetchISPI, t.BTBMisfetchISPI, c.StaticInsts)
+	}
+}

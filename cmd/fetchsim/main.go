@@ -1,0 +1,126 @@
+// Command fetchsim runs one fetch-policy simulation and prints the ISPI
+// breakdown, cache behaviour, and memory traffic.
+//
+// Usage:
+//
+//	fetchsim -bench gcc -policy resume -insts 2000000
+//	fetchsim -bench groff -policy pessimistic -penalty 20 -prefetch
+//	fetchsim -bench li -policy optimistic -cache 32768 -depth 2
+//	fetchsim -image prog.img -trace prog.trc -policy resume
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specfetch"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "gcc", "benchmark profile name (see -list)")
+		imagePath = flag.String("image", "", "static image file (with -trace, replaces -bench)")
+		tracePath = flag.String("trace", "", "trace file to replay against -image")
+		policyStr = flag.String("policy", "resume", "fetch policy: oracle|optimistic|resume|pessimistic|decode")
+		insts     = flag.Int64("insts", 2_000_000, "correct-path instructions to simulate")
+		penalty   = flag.Int("penalty", 5, "I-cache miss penalty in cycles")
+		cacheSz   = flag.Int("cache", 8*1024, "I-cache size in bytes")
+		depth     = flag.Int("depth", 4, "speculation depth (max unresolved conditional branches)")
+		width     = flag.Int("width", 4, "fetch width (instructions per cycle)")
+		prefetch  = flag.Bool("prefetch", false, "enable next-line prefetching")
+		seed      = flag.Uint64("seed", 1, "dynamic trace stream seed")
+		list      = flag.Bool("list", false, "list benchmark profiles and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range specfetch.Profiles() {
+			fmt.Printf("%-8s %-8s %s\n", p.Name, p.Lang, p.Description)
+		}
+		return
+	}
+
+	pol, err := specfetch.ParsePolicy(*policyStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fetchsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := specfetch.DefaultConfig()
+	cfg.Policy = pol
+	cfg.MissPenalty = *penalty
+	cfg.ICache.SizeBytes = *cacheSz
+	cfg.MaxUnresolved = *depth
+	cfg.FetchWidth = *width
+	cfg.NextLinePrefetch = *prefetch
+
+	var res specfetch.Result
+	benchLabel := ""
+	if *imagePath != "" || *tracePath != "" {
+		if *imagePath == "" || *tracePath == "" {
+			fmt.Fprintln(os.Stderr, "fetchsim: -image and -trace must be given together")
+			os.Exit(1)
+		}
+		res, err = runFromFiles(cfg, *imagePath, *tracePath, *insts)
+		benchLabel = fmt.Sprintf("%s + %s", *imagePath, *tracePath)
+	} else {
+		prof, ok := specfetch.ProfileByName(*benchName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fetchsim: unknown benchmark %q (try -list)\n", *benchName)
+			os.Exit(1)
+		}
+		var bench *specfetch.Bench
+		bench, err = specfetch.BuildBenchmark(prof)
+		if err == nil {
+			res, err = specfetch.RunBenchmark(bench, cfg, *insts, *seed)
+		}
+		benchLabel = fmt.Sprintf("%s (%s)", prof.Name, prof.Lang)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fetchsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark    %s\n", benchLabel)
+	fmt.Printf("machine      %d-wide, depth %d, %dB I-cache, %d-cycle miss penalty, prefetch=%v\n",
+		cfg.FetchWidth, cfg.MaxUnresolved, cfg.ICache.SizeBytes, cfg.MissPenalty, cfg.NextLinePrefetch)
+	fmt.Printf("policy       %s\n", pol)
+	fmt.Printf("instructions %d  cycles %d  IPC %.3f\n", res.Insts, res.Cycles, res.IPC())
+	fmt.Printf("total ISPI   %.4f\n", res.TotalISPI())
+	for _, c := range specfetch.Components() {
+		fmt.Printf("  %-14s %.4f\n", c, res.ISPI(c))
+	}
+	fmt.Printf("right-path miss ratio  %.3f%% (%d misses / %d refs)\n",
+		res.MissRatioPct(), res.RightPathMisses, res.RightPathAccesses)
+	fmt.Printf("wrong-path             %d insts fetched, %d misses\n",
+		res.WrongPathInsts, res.WrongPathMisses)
+	fmt.Printf("memory traffic         %d lines (%d demand, %d wrong-path, %d prefetch)\n",
+		res.Traffic.Total(), res.Traffic.DemandFills, res.Traffic.WrongPathFills, res.Traffic.PrefetchFills)
+	fmt.Printf("branch events          %d mispredicts, %d misfetches, %d BTB target mispredicts\n",
+		res.Events.PHTMispredicts, res.Events.BTBMisfetches, res.Events.BTBMispredicts)
+}
+
+// runFromFiles replays a trace file against a serialized image.
+func runFromFiles(cfg specfetch.Config, imagePath, tracePath string, insts int64) (specfetch.Result, error) {
+	imgF, err := os.Open(imagePath)
+	if err != nil {
+		return specfetch.Result{}, err
+	}
+	defer imgF.Close()
+	img, err := specfetch.ReadImage(imgF)
+	if err != nil {
+		return specfetch.Result{}, err
+	}
+	trcF, err := os.Open(tracePath)
+	if err != nil {
+		return specfetch.Result{}, err
+	}
+	defer trcF.Close()
+	rd, err := specfetch.OpenTrace(trcF)
+	if err != nil {
+		return specfetch.Result{}, err
+	}
+	cfg.MaxInsts = insts
+	return specfetch.Run(cfg, img, rd, specfetch.NewPredictor())
+}

@@ -1,0 +1,116 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section over the synthetic benchmark suite.
+//
+// Usage:
+//
+//	paperbench -all [-insts N]
+//	paperbench -table 5
+//	paperbench -figure 3 -bench gcc,groff
+//	paperbench -table 4 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"specfetch/internal/experiments"
+	"specfetch/internal/texttable"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate table N (2-7)")
+		figure   = flag.Int("figure", 0, "regenerate figure N (1-4)")
+		ablation = flag.String("ablation", "", "run an ablation: prefetch|btb|assoc|width|pipelined-mem|ras|victim|mshr|layout")
+		seeds    = flag.Int("sensitivity", 0, "run the seed-sensitivity analysis over N dynamic streams")
+		sweep    = flag.Bool("sweep", false, "run the miss-latency sweep with crossover detection")
+		modern   = flag.Bool("modern", false, "run the datacenter-footprint study (web/db/search)")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		insts    = flag.Int64("insts", 2_000_000, "instructions to simulate per benchmark")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 13)")
+		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Insts: *insts}
+	if *bench != "" {
+		opt.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	if !*all && *table == 0 && *figure == 0 && *ablation == "" && *seeds == 0 && !*sweep && !*modern {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	emitTable := func(t *texttable.Table, err error) {
+		run(err)
+		if *csv {
+			run(t.RenderCSV(os.Stdout))
+		} else {
+			run(t.Render(os.Stdout))
+		}
+		fmt.Println()
+	}
+	emitFigure := func(f *texttable.StackedBars, err error) {
+		run(err)
+		run(f.Render(os.Stdout))
+		fmt.Println()
+	}
+
+	tables := map[int]func(experiments.Options) (*texttable.Table, error){
+		2: experiments.Table2, 3: experiments.Table3, 4: experiments.Table4,
+		5: experiments.Table5, 6: experiments.Table6, 7: experiments.Table7,
+	}
+	figures := map[int]func(experiments.Options) (*texttable.StackedBars, error){
+		1: experiments.Figure1, 2: experiments.Figure2,
+		3: experiments.Figure3, 4: experiments.Figure4,
+	}
+
+	switch {
+	case *modern:
+		tab, err := experiments.ModernStudy(opt)
+		emitTable(tab, err)
+	case *sweep:
+		tab, err := experiments.LatencySweep(opt, nil)
+		emitTable(tab, err)
+	case *seeds > 0:
+		tab, err := experiments.SeedSensitivity(opt, *seeds)
+		emitTable(tab, err)
+	case *all:
+		for n := 2; n <= 7; n++ {
+			emitTable(tables[n](opt))
+		}
+		for n := 1; n <= 4; n++ {
+			emitFigure(figures[n](opt))
+		}
+	case *ablation != "":
+		fn, ok := experiments.Ablations()[*ablation]
+		if !ok {
+			run(fmt.Errorf("no ablation %q", *ablation))
+		}
+		emitTable(fn(opt))
+	case *table != 0:
+		fn, ok := tables[*table]
+		if !ok {
+			run(fmt.Errorf("no table %d (paper has tables 2-7)", *table))
+		}
+		emitTable(fn(opt))
+	case *figure != 0:
+		fn, ok := figures[*figure]
+		if !ok {
+			run(fmt.Errorf("no figure %d (paper has figures 1-4)", *figure))
+		}
+		emitFigure(fn(opt))
+	}
+	_ = io.Discard
+}

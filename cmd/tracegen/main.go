@@ -1,0 +1,163 @@
+// Command tracegen generates, inspects, and converts instruction traces.
+//
+// Usage:
+//
+//	tracegen -bench gcc -insts 1000000 -o gcc.trc          # binary trace
+//	tracegen -bench gcc -insts 100000 -format text -o -     # text to stdout
+//	tracegen -stats gcc.trc                                  # summarize
+//	tracegen -convert gcc.trc -format text -o gcc.txt        # transcode
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"specfetch"
+	"specfetch/internal/trace"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark profile to generate from")
+		insts     = flag.Int64("insts", 1_000_000, "instructions to generate")
+		seed      = flag.Uint64("seed", 1, "dynamic stream seed")
+		out       = flag.String("o", "-", "output path ('-' = stdout)")
+		format    = flag.String("format", "binary", "output format: binary|text")
+		gz        = flag.Bool("gzip", false, "gzip-compress the output")
+		imageOut  = flag.String("imageout", "", "also write the benchmark's static image to this path")
+		statsPath = flag.String("stats", "", "summarize an existing trace file and exit")
+		convert   = flag.String("convert", "", "transcode an existing trace file to -format")
+	)
+	flag.Parse()
+
+	switch {
+	case *statsPath != "":
+		rd, closeFn := openTrace(*statsPath)
+		defer closeFn()
+		st, err := trace.Scan(rd)
+		fail(err)
+		fmt.Printf("records        %d\n", st.Records)
+		fmt.Printf("instructions   %d\n", st.Insts)
+		fmt.Printf("branches       %d (%.2f%%)\n", st.Branches, 100*st.BranchFrac())
+		fmt.Printf("conditionals   %d (%.1f%% taken)\n", st.Conditionals, 100*st.TakenFrac())
+		fmt.Printf("unconditional  %d (%d calls, %d returns, %d indirect)\n",
+			st.Unconditional, st.Calls, st.Returns, st.Indirect)
+
+	case *convert != "":
+		rd, closeFn := openTrace(*convert)
+		defer closeFn()
+		w, flush := openWriter(*out, *format, *gz)
+		copyTrace(rd, w)
+		fail(flush())
+
+	case *benchName != "":
+		prof, ok := specfetch.ProfileByName(*benchName)
+		if !ok {
+			fail(fmt.Errorf("unknown benchmark %q", *benchName))
+		}
+		bench, err := specfetch.BuildBenchmark(prof)
+		fail(err)
+		if *imageOut != "" {
+			imgF, err := os.Create(*imageOut)
+			fail(err)
+			fail(specfetch.WriteImage(imgF, bench.Image()))
+			fail(imgF.Close())
+		}
+		rd := bench.NewReader(*seed, *insts)
+		w, flush := openWriter(*out, *format, *gz)
+		copyTrace(rd, w)
+		fail(flush())
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// openTrace opens a trace file; format (gzip/binary/text) is sniffed.
+func openTrace(path string) (trace.Reader, func()) {
+	f, err := os.Open(path)
+	fail(err)
+	rd, err := specfetch.OpenTrace(f)
+	fail(err)
+	return rd, func() { f.Close() }
+}
+
+// openWriter builds the requested writer over the output path.
+func openWriter(path, format string, gzOut bool) (trace.Writer, func() error) {
+	var out *os.File
+	if path == "-" {
+		out = os.Stdout
+	} else {
+		f, err := os.Create(path)
+		fail(err)
+		out = f
+	}
+	closeOut := func() error {
+		if out != os.Stdout {
+			return out.Close()
+		}
+		return nil
+	}
+	switch format {
+	case "binary":
+		if gzOut {
+			w := trace.NewGzipBinaryWriter(out)
+			return w, func() error {
+				if err := w.Close(); err != nil {
+					return err
+				}
+				return closeOut()
+			}
+		}
+		w := trace.NewBinaryWriter(out)
+		return w, func() error {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			return closeOut()
+		}
+	case "text":
+		if gzOut {
+			w := trace.NewGzipTextWriter(out)
+			return w, func() error {
+				if err := w.Close(); err != nil {
+					return err
+				}
+				return closeOut()
+			}
+		}
+		w := trace.NewTextWriter(out)
+		return w, func() error {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			return closeOut()
+		}
+	default:
+		fail(fmt.Errorf("unknown format %q (want binary or text)", format))
+		return nil, nil
+	}
+}
+
+// copyTrace streams every record from rd to w.
+func copyTrace(rd trace.Reader, w trace.Writer) {
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		fail(err)
+		fail(w.Write(rec))
+	}
+}

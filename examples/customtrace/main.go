@@ -1,0 +1,141 @@
+// Customtrace shows how to drive the simulator with your own program and
+// trace instead of the synthetic workload generator — the path you would
+// take to replay traces captured from real binaries.
+//
+// It hand-builds a tiny program (a loop with a data-dependent branch
+// calling a helper function) and its dynamic trace, then compares all five
+// policies over it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specfetch"
+)
+
+func main() {
+	img, loop := buildProgram()
+	recs := buildTrace(loop, 2000)
+
+	fmt.Printf("static program: %d instructions, trace: %d records\n",
+		img.NumInsts(), len(recs))
+
+	for _, pol := range specfetch.Policies() {
+		cfg := specfetch.DefaultConfig()
+		cfg.Policy = pol
+		cfg.ICache.SizeBytes = 1024 // tiny cache so the toy program misses
+		res, err := specfetch.Run(cfg, img, specfetch.NewSliceTrace(recs), specfetch.NewPredictor())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s ISPI %.3f  (miss %.2f%%, traffic %d lines)\n",
+			pol, res.TotalISPI(), res.MissRatioPct(), res.Traffic.Total())
+	}
+}
+
+// layout captures the addresses the trace builder needs.
+type layout struct {
+	loopTop specfetch.Addr // first instruction of the loop body
+	condPC  specfetch.Addr // data-dependent if inside the loop
+	condTgt specfetch.Addr // its taken target (skips the call)
+	callPC  specfetch.Addr // call to the helper
+	callTgt specfetch.Addr // helper entry
+	retPC   specfetch.Addr // helper's return
+	backPC  specfetch.Addr // loop back-branch
+	callRet specfetch.Addr // instruction after the call
+	helperN int            // plain instructions in the helper before ret
+	headN   int            // plain instructions before the cond
+	middleN int            // plain instructions between call and back branch
+}
+
+// buildProgram assembles the image:
+//
+//	loop:   8 plains
+//	        cond -> skip          (taken every 3rd iteration)
+//	        call helper
+//	skip:   6 plains
+//	        cond -> loop          (taken until the trace ends)
+//	        ... helper: 12 plains; ret
+func buildProgram() (*specfetch.Image, layout) {
+	b, err := specfetch.NewImageBuilder(0x1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var l layout
+	l.headN, l.middleN, l.helperN = 8, 6, 12
+
+	l.loopTop = b.PC()
+	b.AppendPlain(l.headN)
+	l.condPC = b.PC()
+	condSlot := b.Append(specfetch.Inst{Kind: specfetch.CondBranch}) // target patched below
+	_ = condSlot
+	l.callPC = b.PC()
+	callSlot := b.Append(specfetch.Inst{Kind: specfetch.Call}) // target patched below
+	_ = callSlot
+	l.callRet = b.PC()
+	l.condTgt = b.PC() // skip lands right after the call
+	b.AppendPlain(l.middleN)
+	l.backPC = b.PC()
+	b.Append(specfetch.Inst{Kind: specfetch.CondBranch, Target: l.loopTop})
+
+	// Helper function.
+	l.callTgt = b.PC()
+	b.AppendPlain(l.helperN)
+	l.retPC = b.PC()
+	b.Append(specfetch.Inst{Kind: specfetch.Return})
+
+	// Rebuild with the forward targets now known (the builder appends in
+	// order, so we reconstruct with the final addresses).
+	b2, err := specfetch.NewImageBuilder(0x1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b2.AppendPlain(l.headN)
+	b2.Append(specfetch.Inst{Kind: specfetch.CondBranch, Target: l.condTgt})
+	b2.Append(specfetch.Inst{Kind: specfetch.Call, Target: l.callTgt})
+	b2.AppendPlain(l.middleN)
+	b2.Append(specfetch.Inst{Kind: specfetch.CondBranch, Target: l.loopTop})
+	b2.AppendPlain(l.helperN)
+	b2.Append(specfetch.Inst{Kind: specfetch.Return})
+	img, err := b2.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return img, l
+}
+
+// buildTrace walks the loop iters times, skipping the call on every third
+// iteration, and exits the loop at the end.
+func buildTrace(l layout, iters int) []specfetch.TraceRecord {
+	var recs []specfetch.TraceRecord
+	for i := 0; i < iters; i++ {
+		skip := i%3 == 2
+		// Head block ending in the data-dependent conditional.
+		rec := specfetch.TraceRecord{
+			Start: l.loopTop, N: l.headN + 1, BrKind: specfetch.CondBranch,
+			Taken: skip, Target: 0,
+		}
+		if skip {
+			rec.Target = l.condTgt
+		}
+		recs = append(recs, rec)
+		if !skip {
+			// The call and the helper's body.
+			recs = append(recs,
+				specfetch.TraceRecord{Start: l.callPC, N: 1, BrKind: specfetch.Call, Taken: true, Target: l.callTgt},
+				specfetch.TraceRecord{Start: l.callTgt, N: l.helperN + 1, BrKind: specfetch.Return, Taken: true, Target: l.callRet},
+			)
+		}
+		// Middle block ending in the loop back-branch.
+		back := specfetch.TraceRecord{
+			Start: l.callRet, N: l.middleN + 1, BrKind: specfetch.CondBranch,
+			Taken: i != iters-1, Target: 0,
+		}
+		if back.Taken {
+			back.Target = l.loopTop
+		}
+		recs = append(recs, back)
+	}
+	return recs
+}

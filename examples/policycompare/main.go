@@ -1,0 +1,61 @@
+// Policycompare reproduces the paper's headline question on a single
+// workload: which fetch policy wins, and how does the answer flip as the
+// miss latency grows? It sweeps all five policies across miss penalties and
+// reports where conservative policies overtake aggressive ones.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specfetch"
+)
+
+func main() {
+	bench, err := specfetch.BuildBenchmark(specfetch.Groff())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const insts = 1_000_000
+
+	penalties := []int{3, 5, 10, 20, 40}
+	policies := specfetch.Policies()
+
+	fmt.Printf("Total penalty ISPI for %s vs miss latency (8K cache, depth 4):\n\n", bench.Profile().Name)
+	fmt.Printf("%8s", "penalty")
+	for _, p := range policies {
+		fmt.Printf("  %11s", p)
+	}
+	fmt.Println()
+
+	ispi := make(map[int]map[specfetch.Policy]float64)
+	for _, pen := range penalties {
+		ispi[pen] = map[specfetch.Policy]float64{}
+		fmt.Printf("%7dc", pen)
+		for _, pol := range policies {
+			cfg := specfetch.DefaultConfig()
+			cfg.Policy = pol
+			cfg.MissPenalty = pen
+			res, err := specfetch.RunBenchmark(bench, cfg, insts, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ispi[pen][pol] = res.TotalISPI()
+			fmt.Printf("  %11.3f", res.TotalISPI())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	for _, pen := range penalties {
+		opt, pess := ispi[pen][specfetch.Optimistic], ispi[pen][specfetch.Pessimistic]
+		verdict := "aggressive (Optimistic) wins"
+		if pess < opt {
+			verdict = "conservative (Pessimistic) wins"
+		}
+		fmt.Printf("at %2d cycles: Optimistic %.3f vs Pessimistic %.3f -> %s\n",
+			pen, opt, pess, verdict)
+	}
+	fmt.Println("\nThe paper's conclusion: Resume with a small latency, Pessimistic once")
+	fmt.Println("the latency is large relative to the mispredict penalty.")
+}

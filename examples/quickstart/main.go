@@ -1,0 +1,36 @@
+// Quickstart: build one synthetic benchmark, run one policy, print the
+// penalty breakdown. This is the smallest end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specfetch"
+)
+
+func main() {
+	// A calibrated stand-in for the paper's gcc workload.
+	bench, err := specfetch.BuildBenchmark(specfetch.GCC())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's baseline machine: 4-wide, depth-4 speculation, 8K
+	// direct-mapped I-cache, 5-cycle miss penalty.
+	cfg := specfetch.DefaultConfig()
+	cfg.Policy = specfetch.Resume
+
+	res, err := specfetch.RunBenchmark(bench, cfg, 1_000_000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("policy %s over %d instructions: %.3f issue slots lost per instruction\n",
+		cfg.Policy, res.Insts, res.TotalISPI())
+	for _, c := range specfetch.Components() {
+		fmt.Printf("  %-14s %.3f\n", c, res.ISPI(c))
+	}
+	fmt.Printf("I-cache miss ratio %.2f%%, memory traffic %d lines\n",
+		res.MissRatioPct(), res.Traffic.Total())
+}

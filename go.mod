@@ -1,0 +1,3 @@
+module specfetch
+
+go 1.22

@@ -1,0 +1,161 @@
+// Predictor facades used by the fetch engine. The engine only cares about
+// four events: predicting a direction, predicting a target, a decode-time
+// speculative BTB fill, and resolve-time training.
+package bpred
+
+import "specfetch/internal/isa"
+
+// Predictor is the branch-architecture interface consumed by the fetch
+// engine.
+type Predictor interface {
+	// PredictCond returns the predicted direction for the conditional
+	// branch at pc, using whatever (possibly stale) state the architecture
+	// has at prediction time.
+	PredictCond(pc isa.Addr) bool
+	// PredictTarget returns the BTB's target for the branch at pc, if any.
+	PredictTarget(pc isa.Addr) (isa.Addr, bool)
+	// DecodeTaken records, speculatively at decode time, that the branch at
+	// pc transfers to target. The paper inserts predicted-taken branches at
+	// decode, including those on wrong paths.
+	DecodeTaken(pc, target isa.Addr)
+	// ResolveCond trains the direction state with the actual outcome of a
+	// resolved correct-path conditional branch.
+	ResolveCond(pc isa.Addr, taken bool)
+	// ResolveIndirect records the actual dynamic target of a resolved
+	// indirect transfer (return, indirect jump/call).
+	ResolveIndirect(pc, target isa.Addr)
+}
+
+// Decoupled is the paper's baseline: BTB for targets, gshare PHT for
+// directions, so every conditional branch gets a dynamic direction
+// prediction even on a BTB miss.
+type Decoupled struct {
+	BTB *BTB
+	PHT *PHT
+}
+
+// NewDecoupled builds the baseline architecture.
+func NewDecoupled(btbCfg BTBConfig, phtCfg PHTConfig) (*Decoupled, error) {
+	btb, err := NewBTB(btbCfg)
+	if err != nil {
+		return nil, err
+	}
+	pht, err := NewPHT(phtCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Decoupled{BTB: btb, PHT: pht}, nil
+}
+
+// NewDefaultDecoupled builds the paper's 64-entry 4-way BTB + 512-entry PHT.
+func NewDefaultDecoupled() *Decoupled {
+	d, err := NewDecoupled(DefaultBTBConfig(), DefaultPHTConfig())
+	if err != nil {
+		panic(err) // defaults are statically valid
+	}
+	return d
+}
+
+// PredictCond implements Predictor.
+func (d *Decoupled) PredictCond(pc isa.Addr) bool { return d.PHT.Predict(pc) }
+
+// PredictTarget implements Predictor.
+func (d *Decoupled) PredictTarget(pc isa.Addr) (isa.Addr, bool) { return d.BTB.Lookup(pc) }
+
+// DecodeTaken implements Predictor.
+func (d *Decoupled) DecodeTaken(pc, target isa.Addr) { d.BTB.Insert(pc, target) }
+
+// ResolveCond implements Predictor.
+func (d *Decoupled) ResolveCond(pc isa.Addr, taken bool) { d.PHT.Resolve(pc, taken) }
+
+// ResolveIndirect implements Predictor.
+func (d *Decoupled) ResolveIndirect(pc, target isa.Addr) { d.BTB.Insert(pc, target) }
+
+// Coupled is the Pentium-style ablation: direction prediction lives in the
+// BTB entry itself, so conditional branches missing in the BTB fall back to
+// a static not-taken prediction.
+type Coupled struct {
+	btb *BTB
+}
+
+// NewCoupled builds the coupled variant.
+func NewCoupled(btbCfg BTBConfig) (*Coupled, error) {
+	btb, err := NewBTB(btbCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Coupled{btb: btb}, nil
+}
+
+// PredictCond implements Predictor: the per-entry counter if present,
+// otherwise static not-taken (the Pentium's fall-through assumption).
+func (c *Coupled) PredictCond(pc isa.Addr) bool {
+	set, tag := c.btb.setTag(pc)
+	for i := range c.btb.sets[set] {
+		e := &c.btb.sets[set][i]
+		if e.valid && e.tag == tag {
+			return e.counter.Predict()
+		}
+	}
+	return false
+}
+
+// PredictTarget implements Predictor.
+func (c *Coupled) PredictTarget(pc isa.Addr) (isa.Addr, bool) { return c.btb.Lookup(pc) }
+
+// DecodeTaken implements Predictor.
+func (c *Coupled) DecodeTaken(pc, target isa.Addr) {
+	set, tag := c.btb.setTag(pc)
+	for i := range c.btb.sets[set] {
+		e := &c.btb.sets[set][i]
+		if e.valid && e.tag == tag {
+			e.target = target
+			return
+		}
+	}
+	c.btb.Insert(pc, target)
+	// New entries start weakly taken: the branch was observed taken.
+	set, tag = c.btb.setTag(pc)
+	for i := range c.btb.sets[set] {
+		e := &c.btb.sets[set][i]
+		if e.valid && e.tag == tag {
+			e.counter = WeaklyTaken
+			return
+		}
+	}
+}
+
+// ResolveCond implements Predictor: trains the counter if the entry is
+// still resident.
+func (c *Coupled) ResolveCond(pc isa.Addr, taken bool) {
+	set, tag := c.btb.setTag(pc)
+	for i := range c.btb.sets[set] {
+		e := &c.btb.sets[set][i]
+		if e.valid && e.tag == tag {
+			e.counter = e.counter.Update(taken)
+			return
+		}
+	}
+}
+
+// ResolveIndirect implements Predictor.
+func (c *Coupled) ResolveIndirect(pc, target isa.Addr) { c.btb.Insert(pc, target) }
+
+// Static always predicts not-taken and never learns; it is the lower-bound
+// reference predictor used in tests and ablations.
+type Static struct{}
+
+// PredictCond implements Predictor.
+func (Static) PredictCond(isa.Addr) bool { return false }
+
+// PredictTarget implements Predictor.
+func (Static) PredictTarget(isa.Addr) (isa.Addr, bool) { return 0, false }
+
+// DecodeTaken implements Predictor.
+func (Static) DecodeTaken(isa.Addr, isa.Addr) {}
+
+// ResolveCond implements Predictor.
+func (Static) ResolveCond(isa.Addr, bool) {}
+
+// ResolveIndirect implements Predictor.
+func (Static) ResolveIndirect(isa.Addr, isa.Addr) {}

@@ -1,0 +1,113 @@
+// Two-level local-history direction predictor (Yeh & Patt's PAg), provided
+// as an alternative to the paper's gshare PHT. Each branch indexes a table
+// of per-address history registers; the local history pattern then indexes
+// a shared table of 2-bit counters. The paper cites the two-level schemes
+// in §2; this variant lets the repository compare the paper's global-history
+// choice against a local-history one.
+package bpred
+
+import (
+	"fmt"
+
+	"specfetch/internal/isa"
+)
+
+// LocalConfig sizes the two-level local predictor.
+type LocalConfig struct {
+	// HistoryEntries is the number of per-address history registers; must
+	// be a power of two.
+	HistoryEntries int
+	// HistoryBits is the local history length; the pattern table has
+	// 2^HistoryBits counters.
+	HistoryBits int
+}
+
+// DefaultLocalConfig roughly matches the paper-era PAg budgets: 512
+// history registers of 6 bits over a 64-entry pattern table.
+func DefaultLocalConfig() LocalConfig { return LocalConfig{HistoryEntries: 512, HistoryBits: 6} }
+
+// LocalPHT is the two-level local-history direction predictor. Like the
+// paper's PHT, it trains only at branch resolution.
+type LocalPHT struct {
+	hist     []uint32
+	counters []Counter2
+	histMask uint32
+	patMask  uint32
+}
+
+// NewLocalPHT builds the predictor.
+func NewLocalPHT(cfg LocalConfig) (*LocalPHT, error) {
+	if cfg.HistoryEntries <= 0 || cfg.HistoryEntries&(cfg.HistoryEntries-1) != 0 {
+		return nil, fmt.Errorf("bpred: local history entries %d not a positive power of two", cfg.HistoryEntries)
+	}
+	if cfg.HistoryBits < 1 || cfg.HistoryBits > 20 {
+		return nil, fmt.Errorf("bpred: local history bits %d outside [1,20]", cfg.HistoryBits)
+	}
+	p := &LocalPHT{
+		hist:     make([]uint32, cfg.HistoryEntries),
+		counters: make([]Counter2, 1<<cfg.HistoryBits),
+		histMask: uint32(cfg.HistoryEntries - 1),
+		patMask:  uint32(1<<cfg.HistoryBits - 1),
+	}
+	for i := range p.counters {
+		p.counters[i] = WeaklyTaken
+	}
+	return p, nil
+}
+
+func (p *LocalPHT) histIdx(pc isa.Addr) uint32 {
+	return uint32(uint64(pc)/isa.InstBytes) & p.histMask
+}
+
+// Predict returns the predicted direction using the branch's local history.
+func (p *LocalPHT) Predict(pc isa.Addr) bool {
+	return p.counters[p.hist[p.histIdx(pc)]&p.patMask].Predict()
+}
+
+// Resolve trains the pattern counter and shifts the outcome into the
+// branch's local history.
+func (p *LocalPHT) Resolve(pc isa.Addr, taken bool) {
+	hi := p.histIdx(pc)
+	pat := p.hist[hi] & p.patMask
+	p.counters[pat] = p.counters[pat].Update(taken)
+	p.hist[hi] <<= 1
+	if taken {
+		p.hist[hi] |= 1
+	}
+	p.hist[hi] &= p.patMask
+}
+
+// DecoupledLocal is the paper's decoupled branch architecture with the
+// gshare PHT swapped for the two-level local predictor.
+type DecoupledLocal struct {
+	BTB *BTB
+	PHT *LocalPHT
+}
+
+// NewDecoupledLocal builds the local-history variant with the default BTB.
+func NewDecoupledLocal(btbCfg BTBConfig, localCfg LocalConfig) (*DecoupledLocal, error) {
+	btb, err := NewBTB(btbCfg)
+	if err != nil {
+		return nil, err
+	}
+	pht, err := NewLocalPHT(localCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DecoupledLocal{BTB: btb, PHT: pht}, nil
+}
+
+// PredictCond implements Predictor.
+func (d *DecoupledLocal) PredictCond(pc isa.Addr) bool { return d.PHT.Predict(pc) }
+
+// PredictTarget implements Predictor.
+func (d *DecoupledLocal) PredictTarget(pc isa.Addr) (isa.Addr, bool) { return d.BTB.Lookup(pc) }
+
+// DecodeTaken implements Predictor.
+func (d *DecoupledLocal) DecodeTaken(pc, target isa.Addr) { d.BTB.Insert(pc, target) }
+
+// ResolveCond implements Predictor.
+func (d *DecoupledLocal) ResolveCond(pc isa.Addr, taken bool) { d.PHT.Resolve(pc, taken) }
+
+// ResolveIndirect implements Predictor.
+func (d *DecoupledLocal) ResolveIndirect(pc, target isa.Addr) { d.BTB.Insert(pc, target) }

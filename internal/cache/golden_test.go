@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCache is a deliberately naive reference model of a set-associative LRU
+// cache with an LRU victim buffer, used to cross-check ICache under random
+// operation streams.
+type refCache struct {
+	assoc, nsets, victimCap int
+	// sets[i] holds resident lines of set i, most recently used last.
+	sets [][]uint64
+	// victim holds parked lines, oldest first.
+	victim []uint64
+}
+
+func newRef(cfg Config) *refCache {
+	r := &refCache{assoc: cfg.Assoc, nsets: cfg.NumSets(), victimCap: cfg.VictimLines}
+	r.sets = make([][]uint64, r.nsets)
+	return r
+}
+
+func (r *refCache) setOf(line uint64) int { return int(line % uint64(r.nsets)) }
+
+func (r *refCache) findSet(line uint64) int {
+	s := r.sets[r.setOf(line)]
+	for i, l := range s {
+		if l == line {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refCache) findVictim(line uint64) int {
+	for i, l := range r.victim {
+		if l == line {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refCache) present(line uint64) bool {
+	return r.findSet(line) >= 0 || r.findVictim(line) >= 0
+}
+
+func (r *refCache) touch(line uint64) {
+	set := r.setOf(line)
+	i := r.findSet(line)
+	s := r.sets[set]
+	l := s[i]
+	r.sets[set] = append(append(s[:i:i], s[i+1:]...), l)
+}
+
+func (r *refCache) victimRemove(line uint64) bool {
+	if i := r.findVictim(line); i >= 0 {
+		r.victim = append(r.victim[:i], r.victim[i+1:]...)
+		return true
+	}
+	return false
+}
+
+func (r *refCache) victimAdd(line uint64) {
+	if r.victimCap == 0 {
+		return
+	}
+	if r.victimRemove(line) {
+		// refresh recency
+	}
+	if len(r.victim) == r.victimCap {
+		r.victim = r.victim[1:]
+	}
+	r.victim = append(r.victim, line)
+}
+
+func (r *refCache) fill(line uint64) {
+	r.victimRemove(line)
+	set := r.setOf(line)
+	if i := r.findSet(line); i >= 0 {
+		s := r.sets[set]
+		l := s[i]
+		r.sets[set] = append(append(s[:i:i], s[i+1:]...), l)
+		return
+	}
+	if len(r.sets[set]) == r.assoc {
+		evicted := r.sets[set][0]
+		r.sets[set] = r.sets[set][1:]
+		r.victimAdd(evicted)
+	}
+	r.sets[set] = append(r.sets[set], line)
+}
+
+func (r *refCache) access(line uint64) bool {
+	if r.findSet(line) >= 0 {
+		r.touch(line)
+		return true
+	}
+	if r.victimRemove(line) {
+		r.fill(line)
+		return true
+	}
+	return false
+}
+
+// TestICacheAgainstGoldenModel drives the real cache and the reference model
+// with identical random operation streams and requires identical observable
+// behaviour (hit/miss outcomes and residency probes).
+func TestICacheAgainstGoldenModel(t *testing.T) {
+	configs := []Config{
+		{SizeBytes: 1024, LineBytes: 32, Assoc: 1},
+		{SizeBytes: 1024, LineBytes: 32, Assoc: 2},
+		{SizeBytes: 2048, LineBytes: 64, Assoc: 4},
+		{SizeBytes: 1024, LineBytes: 32, Assoc: 1, VictimLines: 4},
+		{SizeBytes: 1024, LineBytes: 32, Assoc: 2, VictimLines: 8},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		real := MustNew(cfg)
+		ref := newRef(cfg)
+		rng := rand.New(rand.NewSource(int64(cfg.SizeBytes + cfg.Assoc + cfg.VictimLines)))
+		const ops = 20_000
+		lineSpace := uint64(cfg.NumLines() * 4) // 4x capacity: plenty of conflicts
+		for i := 0; i < ops; i++ {
+			line := rng.Uint64() % lineSpace
+			switch rng.Intn(3) {
+			case 0: // access
+				got, want := real.Access(line), ref.access(line)
+				if got != want {
+					t.Fatalf("%+v op %d: Access(%d) = %v, golden %v", cfg, i, line, got, want)
+				}
+			case 1: // fill
+				real.Fill(line)
+				ref.fill(line)
+			case 2: // probe
+				got, want := real.Probe(line), ref.present(line)
+				if got != want {
+					t.Fatalf("%+v op %d: Probe(%d) = %v, golden %v", cfg, i, line, got, want)
+				}
+			}
+		}
+	}
+}

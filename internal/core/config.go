@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"specfetch/internal/cache"
+)
+
+// Config parameterizes one simulation run. The zero value is not valid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// Policy is the I-cache fetch policy under test.
+	Policy Policy
+
+	// FetchWidth is the superscalar issue width in instructions per cycle
+	// (paper: 4).
+	FetchWidth int
+
+	// MaxUnresolved is the speculation depth: the number of conditional
+	// branches that may be in flight, fetched but not yet resolved
+	// (paper: 1, 2, or 4).
+	MaxUnresolved int
+
+	// MissPenalty is the I-cache miss / bus occupancy time in cycles
+	// (paper: 5 low, 20 high).
+	MissPenalty int
+
+	// DecodeLatency is the fetch-to-decode distance in cycles (paper: 2).
+	// Misfetches redirect DecodeLatency cycles after the branch fetch.
+	DecodeLatency int
+
+	// ResolveLatency is the fetch-to-resolve distance for conditional
+	// branches in cycles (paper: 4). Mispredicts redirect ResolveLatency
+	// cycles after the branch fetch.
+	ResolveLatency int
+
+	// ICache sizes the instruction cache (paper: 8K/32K direct mapped,
+	// 32-byte lines).
+	ICache cache.Config
+
+	// NextLinePrefetch enables the paper's "maximal fetchahead,
+	// first-time-referenced" next-line prefetcher.
+	NextLinePrefetch bool
+
+	// TargetPrefetch additionally prefetches the target line of fetched
+	// branches (computed at decode for direct branches, from the BTB for
+	// indirect ones) — the Smith & Hsu target-prefetch scheme; combined
+	// with NextLinePrefetch it approximates Pierce & Mudge's wrong-path
+	// prefetching. Target prefetches take priority over next-line ones.
+	// This is an extension beyond the paper's evaluation.
+	TargetPrefetch bool
+
+	// StreamDepth, when positive, keeps prefetching sequential lines after
+	// each right-path demand fill, up to this many lines ahead (a
+	// single-stream approximation of Jouppi's stream buffers, filling
+	// through the prefetch buffer). Extension beyond the paper.
+	StreamDepth int
+
+	// PipelinedMemory lifts the single-transfer bus limitation: transfers
+	// still take MissPenalty cycles but may overlap, removing all bus
+	// contention. Models the paper's "pipelining miss requests" future
+	// work. Extension beyond the paper.
+	PipelinedMemory bool
+
+	// L2, when non-nil, inserts a unified second-level cache between the
+	// I-cache and memory: fills that hit it complete in L2Latency cycles,
+	// fills that miss it pay the full MissPenalty (and install the line in
+	// the L2). The paper's "small latency (e.g., for an on-chip hierarchy
+	// of caches)" is exactly the L2-hit case; this knob makes the
+	// hierarchy explicit. Extension beyond the paper.
+	L2 *cache.Config
+
+	// L2Latency is the fill time for an L2 hit; must be positive and at
+	// most MissPenalty when L2 is configured.
+	L2Latency int
+
+	// MSHRs, when positive, generalizes the paper's single resume buffer
+	// and single prefetch buffer into miss-status holding register files of
+	// that many entries each, allowing several wrong-path fills and
+	// prefetches to be tracked at once (a simple non-blocking I-cache —
+	// the paper's "further study"). 0 keeps the paper's one-of-each.
+	MSHRs int
+
+	// RASDepth, when positive, adds a return-address stack of that depth:
+	// returns are predicted from the dynamic call nesting instead of the
+	// BTB's last-target, eliminating most BTB target mispredicts. The
+	// stack is speculatively updated (and corrupted) by wrong-path fetch,
+	// as in simple non-checkpointing hardware. Extension beyond the paper.
+	RASDepth int
+
+	// FlushInterval, when positive, invalidates the I-cache every that many
+	// correct-path instructions, modelling context switches (the L2, being
+	// large and physically shared, is left intact). Extension beyond the
+	// paper. 0 disables flushing.
+	FlushInterval int64
+
+	// MaxInsts stops the run after this many correct-path instructions;
+	// 0 means run the whole trace.
+	MaxInsts int64
+
+	// OnRightPathAccess, if non-nil, is invoked for every structural
+	// correct-path line reference with a policy-independent sequence
+	// number, the line, and whether it missed. The classify package uses it
+	// to build the paper's Table 4 miss categorization.
+	OnRightPathAccess func(seq int64, line uint64, miss bool)
+}
+
+// DefaultConfig returns the paper's baseline machine: 4-wide fetch, depth-4
+// speculation, 8K direct-mapped cache, 5-cycle miss penalty, prefetch off.
+func DefaultConfig() Config {
+	return Config{
+		Policy:         Resume,
+		FetchWidth:     4,
+		MaxUnresolved:  4,
+		MissPenalty:    5,
+		DecodeLatency:  2,
+		ResolveLatency: 4,
+		ICache:         cache.DefaultConfig(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Policy < 0 || c.Policy >= numPolicies:
+		return fmt.Errorf("core: invalid policy %d", int(c.Policy))
+	case c.FetchWidth <= 0:
+		return fmt.Errorf("core: fetch width %d not positive", c.FetchWidth)
+	case c.MaxUnresolved <= 0:
+		return fmt.Errorf("core: speculation depth %d not positive", c.MaxUnresolved)
+	case c.MissPenalty <= 0:
+		return fmt.Errorf("core: miss penalty %d not positive", c.MissPenalty)
+	case c.DecodeLatency <= 0:
+		return fmt.Errorf("core: decode latency %d not positive", c.DecodeLatency)
+	case c.ResolveLatency < c.DecodeLatency:
+		return fmt.Errorf("core: resolve latency %d below decode latency %d",
+			c.ResolveLatency, c.DecodeLatency)
+	case c.MaxInsts < 0:
+		return fmt.Errorf("core: negative instruction budget %d", c.MaxInsts)
+	case c.StreamDepth < 0:
+		return fmt.Errorf("core: negative stream depth %d", c.StreamDepth)
+	case c.RASDepth < 0:
+		return fmt.Errorf("core: negative RAS depth %d", c.RASDepth)
+	case c.MSHRs < 0:
+		return fmt.Errorf("core: negative MSHR count %d", c.MSHRs)
+	case c.FlushInterval < 0:
+		return fmt.Errorf("core: negative flush interval %d", c.FlushInterval)
+	}
+	if c.L2 != nil {
+		if err := c.L2.Validate(); err != nil {
+			return fmt.Errorf("core: L2: %w", err)
+		}
+		if c.L2.LineBytes != c.ICache.LineBytes {
+			return fmt.Errorf("core: L2 line size %d differs from L1's %d", c.L2.LineBytes, c.ICache.LineBytes)
+		}
+		if c.L2Latency <= 0 || c.L2Latency > c.MissPenalty {
+			return fmt.Errorf("core: L2 latency %d outside (0, miss penalty %d]", c.L2Latency, c.MissPenalty)
+		}
+	}
+	return c.ICache.Validate()
+}

@@ -1,0 +1,87 @@
+// Package core — timing-model specification.
+//
+// This file documents the exact cycle semantics the engine implements (and
+// the directed tests in engine_test.go pin down). It exists so the model
+// can be audited against the paper without reading the simulation loop.
+//
+// # Fetch
+//
+// Time advances in cycles. In a non-stalled cycle the fetch unit issues up
+// to FetchWidth sequential correct-path instructions, crossing line
+// boundaries and correctly-predicted taken branches freely (the paper
+// assumes no alignment losses, so a correctly predicted branch costs
+// nothing). Fetching from a line requires it to be resident: in the cache
+// array, or complete in the resume/prefetch buffers (completed buffered
+// lines are written back lazily, at the next miss or reuse, as in the
+// paper).
+//
+// # Branches
+//
+// A branch fetched in cycle t is decoded at t+DecodeLatency and, if
+// conditional, resolved at t+1+ResolveLatency; it occupies one of the
+// MaxUnresolved speculation slots from fetch until resolution. Fetching a
+// conditional with all slots full stalls fetch until the oldest resolves
+// (charged branch_full).
+//
+// Prediction uses the Predictor exactly as hardware would: the BTB
+// identifies branches and supplies targets at fetch; the PHT predicts
+// conditional directions; BTB insertions happen speculatively at decode
+// (t+DecodeLatency, wrong-path decodes included); PHT counters and the
+// global history update only at resolution of correct-path branches —
+// wrong-path branches are squashed unresolved. All delayed updates are
+// applied in time order before each cycle's predictions, so deep
+// speculation sees stale history (the paper's Table 3 B1-vs-B4 effect).
+//
+// # Redirects
+//
+// Mispredicted or misfetched branches open a redirect window of dead
+// cycles, charged to the branch component:
+//
+//   - Misfetch (unidentified unconditional, or predicted-taken conditional
+//     without a BTB target): fetch runs down the fall-through and redirects
+//     at t+1+DecodeLatency — 2 cycles / 8 slots at the paper's parameters.
+//   - Mispredict (wrong conditional direction, or stale indirect target):
+//     fetch runs down the predicted path and redirects at
+//     t+1+ResolveLatency — 4 cycles / 16 slots.
+//   - Combined (predicted taken, no target, actually not taken): the
+//     fall-through is fetched until decode, the computed target path until
+//     resolution; total cost equals a mispredict.
+//
+// During the window the wrong path is fetched from the static image under
+// the live predictor, one issue group per cycle, touching the I-cache; the
+// configured policy decides what a wrong-path miss does. A blocking fill
+// initiated on the wrong path (Optimistic; Decode past its gate) extends
+// the stall beyond the window — the overhang is charged to wrong_icache.
+// Under Resume the fill lands in the resume buffer and only the bus stays
+// busy; a correct-path demand that then needs the bus (or the very line in
+// flight) waits, charged to bus.
+//
+// # Right-path misses
+//
+// A correct-path miss starts its fill after the policy's gate: immediately
+// (Oracle/Optimistic/Resume), after the previous instructions decode
+// (Decode: lastIssueCycle+DecodeLatency), or additionally after every
+// outstanding branch resolves (Pessimistic). Gate waiting is charged to
+// force_resolve, bus waiting to bus, and the fill itself (MissPenalty
+// cycles, or L2Latency on an L2 hit) to rt_icache. The single bus carries
+// one transfer at a time unless PipelinedMemory is set.
+//
+// # Prefetching
+//
+// The paper's next-line prefetcher ("maximal fetchahead, first-time
+// referenced"): every fill sets a line's first-reference bit; the first
+// fetch from such a line arms a prefetch of the next sequential line,
+// issued at end of cycle if the line is absent and the bus is free, into
+// the prefetch buffer (committed lazily). The TargetPrefetch and
+// StreamDepth extensions add higher-priority branch-target candidates and
+// post-fill sequential streaming; at most one prefetch issues per cycle.
+//
+// # Accounting
+//
+// Every cycle in which no correct-path instruction issues contributes
+// FetchWidth lost slots (a partially filled cycle contributes the unused
+// remainder), attributed to exactly one component. Slot conservation —
+// cycles·width = instructions + lost slots (± the final cycle's remainder)
+// — is asserted by the randomized invariant tests for every policy and
+// extension combination.
+package core

@@ -1,0 +1,760 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"specfetch/internal/bpred"
+	"specfetch/internal/cache"
+	"specfetch/internal/isa"
+	"specfetch/internal/metrics"
+	"specfetch/internal/program"
+	"specfetch/internal/trace"
+)
+
+// Engine is one simulation instance. Build it with NewEngine and call Run
+// once; engines are not reusable or safe for concurrent use.
+type Engine struct {
+	cfg  Config
+	img  *program.Image
+	pred bpred.Predictor
+	rd   trace.Reader
+
+	geom isa.LineGeom
+	ic   *cache.ICache
+	l2   *cache.ICache // optional second level (nil when disabled)
+	bus  cache.Bus
+	// resumeBufs hold wrong-path fills in flight (Resume policy); the paper
+	// has exactly one, the MSHR extension several.
+	resumeBufs []cache.LineBuffer
+	// prefBufs hold prefetches in flight; one in the paper.
+	prefBufs []cache.LineBuffer
+	ras      *bpred.RAS // return-address stack (nil when disabled)
+
+	cy          int64 // current cycle
+	lastIssueCy int64 // last cycle in which correct-path instructions issued
+
+	// condSlots holds the resolve cycles of in-flight correct-path
+	// conditional branches (FIFO; times are monotone).
+	condSlots []int64
+	// wrongConds counts wrong-path conditionals currently occupying
+	// speculation slots; they are squashed when the window ends.
+	wrongConds int
+
+	// Delayed predictor updates, each FIFO with monotone times.
+	btbQ     []btbUpdate
+	resolveQ []resolveUpdate
+
+	// Trace cursor.
+	cur       trace.Record
+	curIdx    int
+	haveRec   bool
+	traceDone bool
+
+	// lastInstLine tracks the line of the most recently fetched
+	// correct-path instruction, to identify structural line references.
+	lastInstLine uint64
+	haveLastLine bool
+
+	// Per-cycle prefetch candidates: the branch-target candidate (higher
+	// priority, TargetPrefetch extension) and the next-line candidate.
+	prefCand        uint64
+	prefCandValid   bool
+	targetCand      uint64
+	targetCandValid bool
+	// Stream-prefetch state (StreamDepth extension): the next sequential
+	// line to prefetch and how many remain in the current stream.
+	streamNext uint64
+	streamLeft int
+	// nextFlushAt is the instruction count of the next context-switch
+	// flush (FlushInterval extension).
+	nextFlushAt int64
+
+	res Result
+	err error
+}
+
+// btbUpdate is a decode-time speculative BTB insertion.
+type btbUpdate struct {
+	at     int64
+	pc     isa.Addr
+	target isa.Addr
+}
+
+// resolveUpdate trains the predictor when a correct-path branch resolves.
+type resolveUpdate struct {
+	at       int64
+	pc       isa.Addr
+	taken    bool
+	indirect bool
+	target   isa.Addr // actual target, for indirect updates
+}
+
+// NewEngine builds a simulation over the given static image, dynamic trace,
+// and branch predictor. The predictor must be freshly constructed: the
+// engine trains it as the run progresses.
+func NewEngine(cfg Config, img *program.Image, rd trace.Reader, pred bpred.Predictor) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if img == nil {
+		return nil, errors.New("core: nil program image")
+	}
+	if rd == nil {
+		return nil, errors.New("core: nil trace reader")
+	}
+	if pred == nil {
+		return nil, errors.New("core: nil predictor")
+	}
+	ic, err := cache.New(cfg.ICache)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:  cfg,
+		img:  img,
+		pred: pred,
+		rd:   rd,
+		geom: isa.LineGeom{LineBytes: cfg.ICache.LineBytes},
+		ic:   ic,
+	}
+	e.res.Policy = cfg.Policy
+	e.lastIssueCy = -int64(cfg.DecodeLatency) // nothing pending at t=0
+	if cfg.RASDepth > 0 {
+		e.ras = bpred.NewRAS(cfg.RASDepth)
+	}
+	if cfg.L2 != nil {
+		l2, err := cache.New(*cfg.L2)
+		if err != nil {
+			return nil, err
+		}
+		e.l2 = l2
+	}
+	nbuf := 1
+	if cfg.MSHRs > 0 {
+		nbuf = cfg.MSHRs
+	}
+	e.resumeBufs = make([]cache.LineBuffer, nbuf)
+	e.prefBufs = make([]cache.LineBuffer, nbuf)
+	return e, nil
+}
+
+// Run executes the simulation to trace end or the instruction budget and
+// returns the measurements.
+func Run(cfg Config, img *program.Image, rd trace.Reader, pred bpred.Predictor) (Result, error) {
+	e, err := NewEngine(cfg, img, rd, pred)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run()
+}
+
+// Run drives the simulation loop.
+func (e *Engine) Run() (Result, error) {
+	e.loadRecord()
+	for !e.done() {
+		e.applyUpdates(e.cy)
+		e.stepCycle()
+		if e.err != nil {
+			return e.res, e.err
+		}
+	}
+	e.res.Cycles = e.cy
+	// A trace error on the very first (or a boundary) record ends the loop
+	// without passing through stepCycle's error check.
+	return e.res, e.err
+}
+
+func (e *Engine) done() bool {
+	if e.traceDone && !e.haveRec {
+		return true
+	}
+	return e.cfg.MaxInsts > 0 && e.res.Insts >= e.cfg.MaxInsts
+}
+
+// loadRecord advances the trace cursor to the next record.
+func (e *Engine) loadRecord() {
+	rec, err := e.rd.Next()
+	if err != nil {
+		e.haveRec = false
+		e.traceDone = true
+		if !errors.Is(err, io.EOF) {
+			e.err = fmt.Errorf("core: reading trace: %w", err)
+		}
+		return
+	}
+	if verr := rec.Validate(); verr != nil {
+		e.haveRec = false
+		e.traceDone = true
+		e.err = verr
+		return
+	}
+	e.cur = rec
+	e.curIdx = 0
+	e.haveRec = true
+}
+
+// instInfo describes the next correct-path instruction.
+type instInfo struct {
+	pc     isa.Addr
+	kind   isa.Kind
+	taken  bool
+	target isa.Addr
+}
+
+// peekInst returns the next correct-path instruction without consuming it.
+// It must only be called when !e.done().
+func (e *Engine) peekInst() instInfo {
+	pc := e.cur.Start.Plus(e.curIdx)
+	if e.curIdx == e.cur.N-1 && e.cur.BrKind != isa.Plain {
+		return instInfo{pc: pc, kind: e.cur.BrKind, taken: e.cur.Taken, target: e.cur.Target}
+	}
+	return instInfo{pc: pc, kind: isa.Plain}
+}
+
+// consumeInst advances past the instruction peekInst reported.
+func (e *Engine) consumeInst() {
+	e.curIdx++
+	if e.curIdx >= e.cur.N {
+		e.loadRecord()
+	}
+}
+
+// applyUpdates replays delayed predictor updates whose time has come, in
+// time order, so predictions at cycle `now` see exactly the state a real
+// machine would have.
+func (e *Engine) applyUpdates(now int64) {
+	for len(e.btbQ) > 0 || len(e.resolveQ) > 0 {
+		bOK := len(e.btbQ) > 0 && e.btbQ[0].at <= now
+		rOK := len(e.resolveQ) > 0 && e.resolveQ[0].at <= now
+		switch {
+		case bOK && (!rOK || e.btbQ[0].at <= e.resolveQ[0].at):
+			u := e.btbQ[0]
+			e.btbQ = e.btbQ[1:]
+			e.pred.DecodeTaken(u.pc, u.target)
+		case rOK:
+			u := e.resolveQ[0]
+			e.resolveQ = e.resolveQ[1:]
+			if u.indirect {
+				e.pred.ResolveIndirect(u.pc, u.target)
+			} else {
+				e.pred.ResolveCond(u.pc, u.taken)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// prefetchOn reports whether any prefetch engine is configured.
+func (e *Engine) prefetchOn() bool {
+	return e.cfg.NextLinePrefetch || e.cfg.TargetPrefetch || e.cfg.StreamDepth > 0
+}
+
+// fillLatency returns the fill time for line, consulting (and updating)
+// the optional second-level cache.
+func (e *Engine) fillLatency(line uint64) int {
+	if e.l2 == nil {
+		return e.cfg.MissPenalty
+	}
+	if e.l2.Access(line) {
+		e.res.Traffic.L2Hits++
+		return e.cfg.L2Latency
+	}
+	e.l2.Fill(line)
+	e.res.Traffic.L2Misses++
+	return e.cfg.MissPenalty
+}
+
+// busStartLine begins the transfer of line no earlier than `at` and
+// returns its completion cycle, honouring the L2 hierarchy and the
+// pipelined-memory extension. haveLine=false skips the L2 consultation
+// (full memory latency).
+func (e *Engine) busStartLine(at int64, line uint64, haveLine bool) int64 {
+	lat := e.cfg.MissPenalty
+	if haveLine {
+		lat = e.fillLatency(line)
+	}
+	if e.cfg.PipelinedMemory {
+		e.bus.Transfers++
+		return at + int64(lat)
+	}
+	return e.bus.Start(at, lat)
+}
+
+// busFreeAt returns when a new transfer may start.
+func (e *Engine) busFreeAt() int64 {
+	if e.cfg.PipelinedMemory {
+		return 0
+	}
+	return e.bus.FreeAt()
+}
+
+// busBusy reports whether a new transfer must wait at cycle now.
+func (e *Engine) busBusy(now int64) bool {
+	if e.cfg.PipelinedMemory {
+		return false
+	}
+	return e.bus.Busy(now)
+}
+
+// armTargetPrefetch records a branch-target prefetch candidate.
+func (e *Engine) armTargetPrefetch(target isa.Addr) {
+	e.targetCand = e.geom.Line(target)
+	e.targetCandValid = true
+}
+
+// retireConds frees speculation slots whose branches have resolved by now.
+func (e *Engine) retireConds(now int64) {
+	i := 0
+	for i < len(e.condSlots) && e.condSlots[i] <= now {
+		i++
+	}
+	if i > 0 {
+		e.condSlots = e.condSlots[i:]
+	}
+}
+
+// chargePhase describes one attribution interval of a stall: dead cycles
+// strictly before `until` belong to `comp`.
+type chargePhase struct {
+	until int64
+	comp  metrics.Component
+}
+
+// chargeStall accounts a stall: the current cycle e.cy issued slotsIssued
+// useful instructions (its remaining slots are lost), cycles up to
+// resumeAt-1 are fully lost, and fetch restarts at resumeAt. Each dead cycle
+// is attributed to the first phase whose `until` exceeds it; the final
+// phase's until must be >= resumeAt.
+func (e *Engine) chargeStall(slotsIssued int, phases []chargePhase, resumeAt int64) {
+	w := int64(e.cfg.FetchWidth)
+	for c := e.cy; c < resumeAt; c++ {
+		lost := w
+		if c == e.cy {
+			lost = w - int64(slotsIssued)
+		}
+		comp := phases[len(phases)-1].comp
+		for _, p := range phases {
+			if c < p.until {
+				comp = p.comp
+				break
+			}
+		}
+		e.res.Lost.Add(comp, lost)
+	}
+	e.cy = resumeAt
+}
+
+// lookupKind distinguishes what satisfied (or will satisfy) a line access.
+type lookupKind int
+
+const (
+	lookupHit         lookupKind = iota
+	lookupPendingFill            // the needed line is being filled right now
+	lookupMiss
+)
+
+// lineLookup checks residency of line at cycle `now`, counting buffers whose
+// fills have completed as resident (and committing them, as the paper writes
+// buffered lines back at the next opportunity). When the needed line is in
+// flight it returns lookupPendingFill with the completion time.
+func (e *Engine) lineLookup(line uint64, now int64) (lookupKind, int64) {
+	if e.ic.Access(line) {
+		return lookupHit, 0
+	}
+	for _, bufs := range [2][]cache.LineBuffer{e.resumeBufs, e.prefBufs} {
+		for i := range bufs {
+			b := &bufs[i]
+			if !b.Valid() || b.Line() != line {
+				continue
+			}
+			if b.Ready(line, now) {
+				b.CommitTo(e.ic, now)
+				return lookupHit, 0
+			}
+			return lookupPendingFill, b.ReadyAt()
+		}
+	}
+	return lookupMiss, 0
+}
+
+// commitCompletedBuffers writes any finished buffered fills into the cache
+// array; the paper does this at the next I-cache miss.
+func (e *Engine) commitCompletedBuffers(now int64) {
+	for _, bufs := range [2][]cache.LineBuffer{e.resumeBufs, e.prefBufs} {
+		for i := range bufs {
+			if b := &bufs[i]; b.Valid() && now >= b.ReadyAt() {
+				b.CommitTo(e.ic, now)
+			}
+		}
+	}
+}
+
+// bufferedLine reports whether any fill buffer currently tracks line.
+func (e *Engine) bufferedLine(line uint64) bool {
+	for _, bufs := range [2][]cache.LineBuffer{e.resumeBufs, e.prefBufs} {
+		for i := range bufs {
+			if b := &bufs[i]; b.Valid() && b.Line() == line {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// freeBuffer finds a usable buffer in bufs: an invalid one, or one whose
+// fill completed (which is committed first). It returns nil when all are
+// still in flight.
+func (e *Engine) freeBuffer(bufs []cache.LineBuffer, now int64) *cache.LineBuffer {
+	for i := range bufs {
+		if !bufs[i].Valid() {
+			return &bufs[i]
+		}
+	}
+	for i := range bufs {
+		if now >= bufs[i].ReadyAt() {
+			bufs[i].CommitTo(e.ic, now)
+			return &bufs[i]
+		}
+	}
+	return nil
+}
+
+// stepCycle simulates one fetch cycle (and any stall it runs into),
+// advancing e.cy past everything it accounted for.
+func (e *Engine) stepCycle() {
+	width := e.cfg.FetchWidth
+	e.retireConds(e.cy)
+	e.prefCandValid = false
+	e.targetCandValid = false
+	if e.cfg.FlushInterval > 0 && e.res.Insts >= e.nextFlushAt {
+		if e.nextFlushAt > 0 {
+			e.ic.InvalidateAll()
+		}
+		e.nextFlushAt = e.res.Insts + e.cfg.FlushInterval
+	}
+
+	var groupLine uint64
+	groupLineValid := false
+
+	for slot := 0; slot < width; slot++ {
+		if e.done() {
+			e.finishCycle()
+			return
+		}
+		in := e.peekInst()
+		line := e.geom.Line(in.pc)
+
+		if !groupLineValid || line != groupLine {
+			// A structural reference is the instruction stream crossing into
+			// a new line. It is counted exactly once per crossing — even if
+			// a miss or stall forces the fetch to retry the same line next
+			// cycle — so the reference sequence is policy independent and
+			// classification can match runs up.
+			structural := !e.haveLastLine || line != e.lastInstLine
+			kind, readyAt := e.lineLookup(line, e.cy)
+			if structural {
+				e.lastInstLine = line
+				e.haveLastLine = true
+				e.res.RightPathAccesses++
+				miss := kind == lookupMiss
+				if miss {
+					e.res.RightPathMisses++
+				}
+				if e.cfg.OnRightPathAccess != nil {
+					e.cfg.OnRightPathAccess(e.res.RightPathAccesses-1, line, miss)
+				}
+			} else if kind == lookupMiss {
+				e.res.ReentryMisses++
+			}
+			switch kind {
+			case lookupPendingFill:
+				// The needed line is already on its way (wrong-path fill in
+				// the resume buffer, or a prefetch). Wait for it: a bus-class
+				// penalty in the paper's accounting.
+				e.chargeStall(slot, []chargePhase{{until: readyAt, comp: metrics.Bus}}, readyAt)
+				e.tryPrefetch(e.cy)
+				return
+			case lookupMiss:
+				e.handleRightPathMiss(line, slot)
+				return
+			}
+			// Hit: maybe arm the next-line prefetcher.
+			if e.cfg.NextLinePrefetch && e.ic.ConsumeFirstRef(line) {
+				e.prefCand = line + 1
+				e.prefCandValid = true
+			}
+			groupLine = line
+			groupLineValid = true
+		}
+
+		if in.kind.IsConditional() && len(e.condSlots)+e.wrongConds >= e.cfg.MaxUnresolved {
+			// Speculation limit: stall until the oldest branch resolves.
+			resumeAt := e.cy + 1
+			if len(e.condSlots) > 0 {
+				resumeAt = e.condSlots[0]
+			}
+			if resumeAt <= e.cy {
+				resumeAt = e.cy + 1
+			}
+			e.tryPrefetch(e.cy)
+			e.chargeStall(slot, []chargePhase{{until: resumeAt, comp: metrics.BranchFull}}, resumeAt)
+			return
+		}
+
+		// Issue the instruction.
+		e.res.Insts++
+		e.lastIssueCy = e.cy
+		e.consumeInst()
+
+		if in.kind.IsBranch() {
+			if e.handleBranch(in, slot+1) {
+				return // redirect window consumed the rest of the cycle
+			}
+			// Correctly predicted: the group continues at the new PC, which
+			// may be on a different line; the loop re-checks residency.
+			groupLineValid = false
+			continue
+		}
+	}
+	e.finishCycle()
+}
+
+// finishCycle issues a pending prefetch and advances to the next cycle.
+func (e *Engine) finishCycle() {
+	e.tryPrefetch(e.cy)
+	e.cy++
+}
+
+// tryPrefetch issues at most one prefetch per cycle under the paper's
+// conditions (candidate absent, bus free, previously prefetched line
+// committed first). Candidates are considered in priority order: branch
+// target (TargetPrefetch extension), next line (the paper's policy), then
+// the sequential stream (StreamDepth extension).
+func (e *Engine) tryPrefetch(now int64) {
+	if !e.prefetchOn() {
+		return
+	}
+	var cands [3]uint64
+	n := 0
+	streamIdx := -1
+	if e.targetCandValid {
+		cands[n] = e.targetCand
+		n++
+		e.targetCandValid = false
+	}
+	if e.prefCandValid {
+		cands[n] = e.prefCand
+		n++
+		e.prefCandValid = false
+	}
+	if e.streamLeft > 0 {
+		streamIdx = n
+		cands[n] = e.streamNext
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	buf := e.freeBuffer(e.prefBufs, now)
+	if buf == nil {
+		return // every prefetch buffer still in flight (bus busy anyway)
+	}
+	if e.busBusy(now) {
+		return
+	}
+	for i := 0; i < n; i++ {
+		cand := cands[i]
+		if e.ic.Probe(cand) || e.bufferedLine(cand) {
+			if i == streamIdx {
+				// Skip past already-present stream lines.
+				e.streamNext++
+				e.streamLeft--
+			}
+			continue
+		}
+		done := e.busStartLine(now, cand, true)
+		buf.Set(cand, done)
+		e.res.Traffic.PrefetchFills++
+		if i == streamIdx {
+			e.streamNext++
+			e.streamLeft--
+		}
+		return
+	}
+}
+
+// handleRightPathMiss models a demand miss on the correct path at the
+// current cycle, after slotsIssued instructions already issued this cycle.
+func (e *Engine) handleRightPathMiss(line uint64, slotsIssued int) {
+	now := e.cy
+
+	// Policy gating before the fill may start.
+	gate := now
+	switch e.cfg.Policy {
+	case Pessimistic:
+		if g := e.lastIssueCy + int64(e.cfg.DecodeLatency); g > gate {
+			gate = g
+		}
+		if n := len(e.condSlots); n > 0 && e.condSlots[n-1] > gate {
+			gate = e.condSlots[n-1]
+		}
+	case Decode:
+		if g := e.lastIssueCy + int64(e.cfg.DecodeLatency); g > gate {
+			gate = g
+		}
+	}
+
+	fillStart := gate
+	if f := e.busFreeAt(); f > fillStart {
+		fillStart = f
+	}
+	fillDone := e.busStartLine(fillStart, line, true)
+
+	// The stream-prefetch extension re-arms on every right-path demand
+	// fill, like a stream buffer allocated on a miss.
+	if e.cfg.StreamDepth > 0 {
+		e.streamNext = line + 1
+		e.streamLeft = e.cfg.StreamDepth
+	}
+
+	// The paper writes buffered lines into the array at the next miss.
+	e.commitCompletedBuffers(now)
+	e.ic.Fill(line)
+	e.res.Traffic.DemandFills++
+
+	e.chargeStall(slotsIssued, []chargePhase{
+		{until: gate, comp: metrics.ForceResolve},
+		{until: fillStart, comp: metrics.Bus},
+		{until: fillDone, comp: metrics.RTICache},
+	}, fillDone)
+}
+
+// eventClass labels a redirect for Table 3 accounting.
+type eventClass int
+
+const (
+	evPHTMispredict eventClass = iota
+	evBTBMisfetch
+	evBTBMispredict
+)
+
+// handleBranch processes a just-issued correct-path branch. slotsIssued is
+// the number of instructions issued this cycle including the branch. It
+// returns true when a redirect window consumed the rest of the cycle.
+func (e *Engine) handleBranch(in instInfo, slotsIssued int) bool {
+	e.res.Branches++
+	now := e.cy
+	fallThrough := in.pc.Next()
+	decodeAt := now + int64(e.cfg.DecodeLatency)
+	resolveAt := now + 1 + int64(e.cfg.ResolveLatency)
+
+	predTarget, btbHit := e.pred.PredictTarget(in.pc)
+
+	if in.kind.IsConditional() {
+		e.res.CondBranches++
+		e.condSlots = append(e.condSlots, resolveAt)
+		e.resolveQ = append(e.resolveQ, resolveUpdate{at: resolveAt, pc: in.pc, taken: in.taken})
+		predTaken := e.pred.PredictCond(in.pc)
+		staticTarget := e.img.At(in.pc).Target
+		if e.cfg.TargetPrefetch {
+			e.armTargetPrefetch(staticTarget)
+		}
+		if predTaken {
+			// Decode-time speculative BTB insert of the (computed) target.
+			e.btbQ = append(e.btbQ, btbUpdate{at: decodeAt, pc: in.pc, target: staticTarget})
+		}
+		switch {
+		case predTaken == in.taken && !predTaken:
+			return false // correctly predicted fall-through
+		case predTaken == in.taken && btbHit:
+			return false // correctly predicted taken with target available
+		case predTaken && in.taken && !btbHit:
+			// Right direction, no target: misfetch. Fall-through is fetched
+			// until decode computes the target.
+			e.runWindow(slotsIssued, evBTBMisfetch, []wpPhase{
+				{start: fallThrough, until: now + 1 + int64(e.cfg.DecodeLatency), misfetch: true},
+			}, in.target)
+			return true
+		case predTaken && !in.taken && btbHit:
+			// Wrong direction: fetch runs down the taken target until resolve.
+			e.runWindow(slotsIssued, evPHTMispredict, []wpPhase{
+				{start: predTarget, until: now + 1 + int64(e.cfg.ResolveLatency)},
+			}, fallThrough)
+			return true
+		case predTaken && !in.taken && !btbHit:
+			// Wrong direction and no target: sequential fetch until decode
+			// computes the target, then down the (wrong) taken path until
+			// resolve.
+			e.runWindow(slotsIssued, evPHTMispredict, []wpPhase{
+				{start: fallThrough, until: now + 1 + int64(e.cfg.DecodeLatency), misfetch: true},
+				{start: staticTarget, until: now + 1 + int64(e.cfg.ResolveLatency)},
+			}, fallThrough)
+			return true
+		default:
+			// Predicted fall-through, actually taken: classic mispredict.
+			e.runWindow(slotsIssued, evPHTMispredict, []wpPhase{
+				{start: fallThrough, until: now + 1 + int64(e.cfg.ResolveLatency)},
+			}, in.target)
+			return true
+		}
+	}
+
+	// Unconditional transfers: always taken.
+	if in.kind.IsIndirect() {
+		e.resolveQ = append(e.resolveQ, resolveUpdate{
+			at: resolveAt, pc: in.pc, indirect: true, target: in.target, taken: true,
+		})
+		if e.cfg.TargetPrefetch && btbHit {
+			e.armTargetPrefetch(predTarget)
+		}
+		if e.ras != nil {
+			if in.kind == isa.IndirectCall {
+				e.ras.Push(fallThrough)
+			}
+			if in.kind == isa.Return {
+				// The RAS prediction replaces the BTB target. Whether the
+				// instruction is identified as a branch at fetch time still
+				// depends on the BTB (predecode identification); on a BTB
+				// miss the misfetch path below applies regardless.
+				if ret, ok := e.ras.Pop(); ok {
+					predTarget = ret
+				}
+			}
+		}
+		switch {
+		case btbHit && predTarget == in.target:
+			return false
+		case btbHit:
+			// Stale target: fetch runs down the old target until resolve.
+			e.runWindow(slotsIssued, evBTBMispredict, []wpPhase{
+				{start: predTarget, until: now + 1 + int64(e.cfg.ResolveLatency)},
+			}, in.target)
+			return true
+		default:
+			// Not identified as a branch: sequential fetch until decode.
+			e.runWindow(slotsIssued, evBTBMisfetch, []wpPhase{
+				{start: fallThrough, until: now + 1 + int64(e.cfg.DecodeLatency), misfetch: true},
+			}, in.target)
+			return true
+		}
+	}
+
+	// Direct unconditional (jump/call).
+	e.btbQ = append(e.btbQ, btbUpdate{at: decodeAt, pc: in.pc, target: in.target})
+	if e.cfg.TargetPrefetch {
+		e.armTargetPrefetch(in.target)
+	}
+	if e.ras != nil && in.kind == isa.Call {
+		e.ras.Push(fallThrough)
+	}
+	if btbHit {
+		return false
+	}
+	e.runWindow(slotsIssued, evBTBMisfetch, []wpPhase{
+		{start: fallThrough, until: now + 1 + int64(e.cfg.DecodeLatency), misfetch: true},
+	}, in.target)
+	return true
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"specfetch/internal/bpred"
+	"specfetch/internal/metrics"
+	"specfetch/internal/synth"
+)
+
+// TestSmokeAllPolicies runs every policy over a small synthetic benchmark
+// and checks the engine's global invariants.
+func TestSmokeAllPolicies(t *testing.T) {
+	bench := synth.MustBuild(synth.GCC())
+	const insts = 200_000
+	for _, pol := range Policies() {
+		for _, pref := range []bool{false, true} {
+			cfg := DefaultConfig()
+			cfg.Policy = pol
+			cfg.NextLinePrefetch = pref
+			cfg.MaxInsts = insts
+			res, err := Run(cfg, bench.Image(), bench.NewReader(1, insts*2), bpred.NewDefaultDecoupled())
+			if err != nil {
+				t.Fatalf("%v pref=%v: %v", pol, pref, err)
+			}
+			t.Logf("%v pref=%v: %s", pol, pref, res)
+			if res.Insts < insts {
+				t.Errorf("%v: issued %d insts, want >= %d", pol, res.Insts, insts)
+			}
+			if res.Cycles <= res.Insts/int64(cfg.FetchWidth) {
+				t.Errorf("%v: cycles %d below ideal minimum %d", pol, res.Cycles, res.Insts/4)
+			}
+			// Slot conservation: total slots = useful + lost, up to the
+			// final cycle's unaccounted remainder when the budget ends a
+			// group early.
+			total := res.Cycles * int64(cfg.FetchWidth)
+			got := res.Insts + res.Lost.Total()
+			if diff := total - got; diff < 0 || diff >= int64(cfg.FetchWidth) {
+				t.Errorf("%v pref=%v: slot conservation broken: insts+lost=%d, cycles*width=%d (diff %d)",
+					pol, pref, got, total, diff)
+			}
+			if res.TotalISPI() <= 0 {
+				t.Errorf("%v: non-positive ISPI", pol)
+			}
+			if pol == Oracle || pol == Pessimistic {
+				if res.Traffic.WrongPathFills != 0 {
+					t.Errorf("%v: wrong-path fills %d, want 0", pol, res.Traffic.WrongPathFills)
+				}
+			}
+			if !pref && res.Traffic.PrefetchFills != 0 {
+				t.Errorf("%v: prefetch fills %d with prefetch off", pol, res.Traffic.PrefetchFills)
+			}
+			if pol == Oracle {
+				if res.Lost[metrics.ForceResolve] != 0 {
+					t.Errorf("oracle: force_resolve %d, want 0", res.Lost[metrics.ForceResolve])
+				}
+				if res.Lost[metrics.WrongICache] != 0 {
+					t.Errorf("oracle: wrong_icache %d, want 0", res.Lost[metrics.WrongICache])
+				}
+			}
+		}
+	}
+}

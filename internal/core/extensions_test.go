@@ -1,0 +1,461 @@
+package core
+
+import (
+	"testing"
+
+	"specfetch/internal/bpred"
+	"specfetch/internal/cache"
+	"specfetch/internal/isa"
+	"specfetch/internal/metrics"
+	"specfetch/internal/synth"
+	"specfetch/internal/trace"
+)
+
+// TestTargetPrefetch: a trained taken branch whose target line is absent
+// gets its target prefetched; with the extension off, the target access
+// misses.
+func TestTargetPrefetch(t *testing.T) {
+	// Line 0 loops via a conditional; after warmup the trace jumps to a
+	// distant line that target prefetching can cover.
+	p := newProg(t, 0)
+	p.plains(7)
+	p.inst(isa.CondBranch, 8*8*4) // target: line 8
+	p.plains(8 * 8)               // filler lines 1..8
+	img := p.build()
+
+	recs := []trace.Record{
+		// Warm up: not-taken twice (trains PHT toward not-taken... but we
+		// need the branch predicted with a known target). Simpler: take it
+		// on the first execution after a not-taken warmup is unnecessary —
+		// first execution is predicted taken (weak counter) and misfetches;
+		// second execution has the BTB entry, so TargetPrefetch can arm.
+		{Start: 0, N: 8, BrKind: isa.CondBranch, Taken: false},
+		{Start: 32, N: 8, BrKind: isa.Plain}, // falls into line 1
+		// No way back without a branch; end here.
+	}
+	_ = recs
+
+	// Build a cleaner scenario: a loop line whose conditional is taken
+	// every iteration back to line 0, with a final not-taken execution
+	// falling through to line 1. TargetPrefetch arms the (resident) target
+	// each iteration — which proves nothing. So instead measure globally on
+	// a synthetic benchmark: combined prefetching must reduce right-path
+	// misses versus next-line alone and issue more prefetches.
+	bench := synth.MustBuild(synth.GCC())
+	const insts = 150_000
+
+	runWith := func(mut func(*Config)) Result {
+		cfg := DefaultConfig()
+		cfg.Policy = Resume
+		cfg.MaxInsts = insts
+		mut(&cfg)
+		res, err := Run(cfg, bench.Image(), bench.NewReader(1, insts*2), bpred.NewDefaultDecoupled())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	base := runWith(func(c *Config) {})
+	next := runWith(func(c *Config) { c.NextLinePrefetch = true })
+	tgt := runWith(func(c *Config) { c.TargetPrefetch = true })
+	comb := runWith(func(c *Config) { c.NextLinePrefetch = true; c.TargetPrefetch = true })
+
+	if tgt.Traffic.PrefetchFills == 0 {
+		t.Fatal("target prefetching issued nothing")
+	}
+	if tgt.RightPathMisses >= base.RightPathMisses {
+		t.Errorf("target prefetch: misses %d not below base %d",
+			tgt.RightPathMisses, base.RightPathMisses)
+	}
+	if comb.RightPathMisses >= base.RightPathMisses {
+		t.Errorf("combined prefetch: misses %d not below base %d",
+			comb.RightPathMisses, base.RightPathMisses)
+	}
+	// Combined issues at least as many prefetches as next-line alone.
+	if comb.Traffic.PrefetchFills < next.Traffic.PrefetchFills {
+		t.Errorf("combined prefetches %d below next-line %d",
+			comb.Traffic.PrefetchFills, next.Traffic.PrefetchFills)
+	}
+	_ = img
+}
+
+// TestStreamPrefetch: sequential code with a stream depth keeps the
+// prefetcher running ahead, beating plain next-line prefetching on misses.
+func TestStreamPrefetch(t *testing.T) {
+	const lines = 32
+	img := newProg(t, 0).plains(lines * 8).build()
+	recs := []trace.Record{{Start: 0, N: lines * 8, BrKind: isa.Plain}}
+
+	base := run(t, cfgWith(Oracle), img, recs)
+
+	cfg := cfgWith(Oracle)
+	cfg.StreamDepth = 4
+	stream := run(t, cfg, img, recs)
+
+	if stream.Traffic.PrefetchFills == 0 {
+		t.Fatal("stream prefetching issued nothing")
+	}
+	if stream.Cycles >= base.Cycles {
+		t.Errorf("stream cycles %d not below base %d", stream.Cycles, base.Cycles)
+	}
+	if stream.RightPathMisses >= base.RightPathMisses {
+		t.Errorf("stream misses %d not below base %d", stream.RightPathMisses, base.RightPathMisses)
+	}
+}
+
+// TestPipelinedMemoryRemovesBusWaits: with the pipelined interface, bus
+// contention components disappear and aggressive policies improve at long
+// latency.
+func TestPipelinedMemoryRemovesBusWaits(t *testing.T) {
+	bench := synth.MustBuild(synth.Groff())
+	const insts = 150_000
+
+	runWith := func(pipe bool) Result {
+		cfg := DefaultConfig()
+		cfg.Policy = Resume
+		cfg.MissPenalty = 20
+		cfg.NextLinePrefetch = true
+		cfg.PipelinedMemory = pipe
+		cfg.MaxInsts = insts
+		res, err := Run(cfg, bench.Image(), bench.NewReader(1, insts*2), bpred.NewDefaultDecoupled())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	serial := runWith(false)
+	pipe := runWith(true)
+
+	if serial.Lost[metrics.Bus] == 0 {
+		t.Fatal("serial bus shows no contention at 20 cycles with prefetch; scenario broken")
+	}
+	// Same-line fill waits remain (they are latency, not contention), but
+	// cross-transfer contention disappears, so the bus component must
+	// shrink and overall performance improve.
+	if pipe.Lost[metrics.Bus] >= serial.Lost[metrics.Bus] {
+		t.Errorf("pipelined bus slots %d not below serial %d",
+			pipe.Lost[metrics.Bus], serial.Lost[metrics.Bus])
+	}
+	if pipe.TotalISPI() >= serial.TotalISPI() {
+		t.Errorf("pipelined ISPI %.3f not below serial %.3f", pipe.TotalISPI(), serial.TotalISPI())
+	}
+}
+
+// TestCoupledBTBWorseThanDecoupled reproduces the Calder & Grunwald
+// observation the paper cites: the decoupled design predicts better.
+func TestCoupledBTBWorseThanDecoupled(t *testing.T) {
+	bench := synth.MustBuild(synth.Ditroff())
+	const insts = 150_000
+	cfg := DefaultConfig()
+	cfg.Policy = Oracle
+	cfg.MaxInsts = insts
+
+	runWith := func(pred bpred.Predictor) Result {
+		res, err := Run(cfg, bench.Image(), bench.NewReader(1, insts*2), pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	dec := runWith(bpred.NewDefaultDecoupled())
+	coupled, err := bpred.NewCoupled(bpred.DefaultBTBConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpl := runWith(coupled)
+	static := runWith(bpred.Static{})
+
+	if dec.TotalISPI() >= cpl.TotalISPI() {
+		t.Errorf("decoupled ISPI %.3f not below coupled %.3f", dec.TotalISPI(), cpl.TotalISPI())
+	}
+	if cpl.TotalISPI() >= static.TotalISPI() {
+		t.Errorf("coupled ISPI %.3f not below static %.3f", cpl.TotalISPI(), static.TotalISPI())
+	}
+}
+
+// TestStreamDepthValidation: negative depths are rejected.
+func TestStreamDepthValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StreamDepth = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative stream depth accepted")
+	}
+}
+
+// TestExtensionsPreserveInvariants: the smoke invariants hold with every
+// extension enabled at once.
+func TestExtensionsPreserveInvariants(t *testing.T) {
+	bench := synth.MustBuild(synth.Li())
+	const insts = 100_000
+	for _, pol := range Policies() {
+		cfg := DefaultConfig()
+		cfg.Policy = pol
+		cfg.NextLinePrefetch = true
+		cfg.TargetPrefetch = true
+		cfg.StreamDepth = 4
+		cfg.PipelinedMemory = true
+		cfg.MaxInsts = insts
+		res, err := Run(cfg, bench.Image(), bench.NewReader(1, insts*2), bpred.NewDefaultDecoupled())
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		total := res.Cycles * int64(cfg.FetchWidth)
+		got := res.Insts + res.Lost.Total()
+		if diff := total - got; diff < 0 || diff >= int64(cfg.FetchWidth) {
+			t.Errorf("%v: slot conservation broken (diff %d)", pol, diff)
+		}
+		// Note: the bus component may be non-zero even with pipelined
+		// memory — waiting for an in-flight fill of the very line being
+		// fetched is charged there, and that latency does not pipeline
+		// away.
+	}
+}
+
+// TestRASEliminatesReturnMispredicts: with a RAS, the BTB's stale return
+// targets stop costing mispredicts on a call-heavy workload.
+func TestRASEliminatesReturnMispredicts(t *testing.T) {
+	bench := synth.MustBuild(synth.Li())
+	const insts = 150_000
+
+	runWith := func(ras int) Result {
+		cfg := DefaultConfig()
+		cfg.Policy = Oracle
+		cfg.RASDepth = ras
+		cfg.MaxInsts = insts
+		res, err := Run(cfg, bench.Image(), bench.NewReader(1, insts*2), bpred.NewDefaultDecoupled())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	base := runWith(0)
+	ras := runWith(16)
+
+	if base.Events.BTBMispredicts == 0 {
+		t.Fatal("baseline shows no BTB target mispredicts; scenario broken")
+	}
+	if ras.Events.BTBMispredicts >= base.Events.BTBMispredicts {
+		t.Errorf("RAS BTB mispredicts %d not below baseline %d",
+			ras.Events.BTBMispredicts, base.Events.BTBMispredicts)
+	}
+	if ras.TotalISPI() >= base.TotalISPI() {
+		t.Errorf("RAS ISPI %.3f not below baseline %.3f", ras.TotalISPI(), base.TotalISPI())
+	}
+}
+
+// TestRASDirected: a call followed by a return whose BTB entry is stale is
+// still predicted perfectly through the RAS.
+func TestRASDirected(t *testing.T) {
+	p := newProg(t, 0)
+	p.plains(3)
+	p.inst(isa.Call, 32)  // index 3 -> helper at index 8
+	p.plains(4)           // indices 4..7 (return lands at 16 = index 4)
+	p.plains(3)           // helper body: indices 8..10
+	p.inst(isa.Return, 0) // index 11
+	img := p.build()
+
+	// Two call/return rounds from different... the same call site; the
+	// return target is always index 4, so even the BTB gets it right after
+	// round one. The point here: with a RAS the *first* return (BTB miss)
+	// is still a misfetch (identification), but never a BTB mispredict.
+	recs := []trace.Record{
+		{Start: 0, N: 4, BrKind: isa.Call, Taken: true, Target: 32},
+		{Start: 32, N: 4, BrKind: isa.Return, Taken: true, Target: 16},
+		{Start: 16, N: 4, BrKind: isa.Plain},
+	}
+	cfg := cfgWith(Oracle)
+	cfg.RASDepth = 8
+	res := run(t, cfg, img, recs)
+	if res.Events.BTBMispredicts != 0 {
+		t.Errorf("BTB mispredicts = %d, want 0 with RAS", res.Events.BTBMispredicts)
+	}
+}
+
+// TestVictimCacheReducesConflicts: a direct-mapped cache ping-ponging
+// between two conflicting lines stops missing once a victim buffer holds
+// the loser.
+func TestVictimCacheReducesConflicts(t *testing.T) {
+	// Two lines 256 apart conflict in a 256-set direct-mapped 8K cache:
+	// line 0 (byte 0) and line 256 (byte 8192). The trace ping-pongs
+	// between a block in each.
+	q := newProg(t, 0)
+	q.plains(7)
+	q.inst(isa.Jump, 8192) // index 7: line 0 -> line 256
+	q.plains(2040)         // filler, indices 8..2047
+	q.plains(7)            // line 256 block, indices 2048..2054
+	q.inst(isa.Jump, 0)    // index 2055: back to line 0
+	img2 := q.build()
+
+	var recs []trace.Record
+	for i := 0; i < 200; i++ {
+		recs = append(recs,
+			trace.Record{Start: 0, N: 8, BrKind: isa.Jump, Taken: true, Target: 8192},
+			trace.Record{Start: 8192, N: 8, BrKind: isa.Jump, Taken: true, Target: 0},
+		)
+	}
+
+	base := run(t, cfgWith(Oracle), img2, recs)
+
+	cfg := cfgWith(Oracle)
+	cfg.ICache.VictimLines = 4
+	vict := run(t, cfg, img2, recs)
+
+	if base.RightPathMisses <= 4 {
+		t.Fatalf("baseline conflict misses = %d; scenario broken", base.RightPathMisses)
+	}
+	if vict.RightPathMisses > 4 {
+		t.Errorf("victim cache misses = %d, want <= 4 (cold only)", vict.RightPathMisses)
+	}
+	if vict.Cycles >= base.Cycles {
+		t.Errorf("victim cycles %d not below base %d", vict.Cycles, base.Cycles)
+	}
+}
+
+// TestMSHRsHelpResumeUnderPressure: with several MSHRs, Resume keeps
+// tracking wrong-path fills where the single buffer would stall, and
+// overall performance cannot get worse.
+func TestMSHRsHelpResumeUnderPressure(t *testing.T) {
+	bench := synth.MustBuild(synth.Groff())
+	const insts = 150_000
+
+	runWith := func(mshrs int) Result {
+		cfg := DefaultConfig()
+		cfg.Policy = Resume
+		cfg.MissPenalty = 20
+		cfg.PipelinedMemory = true // several fills can actually overlap
+		cfg.MSHRs = mshrs
+		cfg.MaxInsts = insts
+		res, err := Run(cfg, bench.Image(), bench.NewReader(1, insts*2), bpred.NewDefaultDecoupled())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	one := runWith(0)
+	four := runWith(4)
+
+	if four.TotalISPI() > one.TotalISPI()+1e-9 {
+		t.Errorf("4 MSHRs ISPI %.4f worse than single buffer %.4f",
+			four.TotalISPI(), one.TotalISPI())
+	}
+	if four.Traffic.WrongPathFills < one.Traffic.WrongPathFills {
+		t.Errorf("4 MSHRs tracked fewer wrong-path fills (%d) than one (%d)",
+			four.Traffic.WrongPathFills, one.Traffic.WrongPathFills)
+	}
+}
+
+// TestL2Hierarchy: with a large L2 behind a small L1, repeated traversals
+// of a working set that fits the L2 but thrashes the L1 pay L2Latency per
+// miss instead of the full memory penalty.
+func TestL2Hierarchy(t *testing.T) {
+	// 16KB loop: thrashes the 8K L1 forever, fits a 64K L2 after one pass.
+	k, err := synth.LoopKernel(4096, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const insts = 200_000
+
+	runWith := func(mut func(*Config)) Result {
+		cfg := DefaultConfig()
+		cfg.Policy = Resume
+		cfg.MissPenalty = 20
+		cfg.MaxInsts = insts
+		if mut != nil {
+			mut(&cfg)
+		}
+		res, err := Run(cfg, k.Image(), k.NewReader(1, insts*2), bpred.NewDefaultDecoupled())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	noL2 := runWith(nil)
+	l2cfg := cache.Config{SizeBytes: 64 * 1024, LineBytes: 32, Assoc: 4}
+	withL2 := runWith(func(c *Config) {
+		c.L2 = &l2cfg
+		c.L2Latency = 5
+	})
+
+	if withL2.Traffic.L2Hits == 0 {
+		t.Fatal("no L2 hits on an L2-resident working set")
+	}
+	// After the cold pass, every fill is an L2 hit.
+	hitFrac := float64(withL2.Traffic.L2Hits) / float64(withL2.Traffic.L2Hits+withL2.Traffic.L2Misses)
+	if hitFrac < 0.95 {
+		t.Errorf("L2 hit fraction %.3f, want > 0.95", hitFrac)
+	}
+	// 5-cycle fills instead of 20-cycle fills: a large speedup.
+	if withL2.Cycles >= noL2.Cycles*2/3 {
+		t.Errorf("L2 cycles %d not well below no-L2 %d", withL2.Cycles, noL2.Cycles)
+	}
+	if noL2.Traffic.L2Hits != 0 || noL2.Traffic.L2Misses != 0 {
+		t.Error("L2 counters nonzero without an L2")
+	}
+}
+
+// TestL2ConfigValidation: broken hierarchies are rejected.
+func TestL2ConfigValidation(t *testing.T) {
+	good := cache.Config{SizeBytes: 64 * 1024, LineBytes: 32, Assoc: 4}
+	muts := []func(*Config){
+		func(c *Config) { bad := good; bad.LineBytes = 64; c.L2 = &bad; c.L2Latency = 3 },  // line mismatch
+		func(c *Config) { c.L2 = &good; c.L2Latency = 0 },                                  // zero latency
+		func(c *Config) { c.L2 = &good; c.L2Latency = 99 },                                 // above memory penalty
+		func(c *Config) { bad := good; bad.SizeBytes = 999; c.L2 = &bad; c.L2Latency = 3 }, // invalid L2 geometry
+	}
+	for i, mut := range muts {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad L2 config %d accepted", i)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.L2 = &good
+	cfg.L2Latency = 5
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid L2 config rejected: %v", err)
+	}
+}
+
+// TestFlushInterval: periodic cache invalidation (context switches) raises
+// the miss ratio, and more frequent switches raise it more.
+func TestFlushInterval(t *testing.T) {
+	k, err := synth.LoopKernel(1024, 100) // 4KB body: fits the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	const insts = 120_000
+	runWith := func(interval int64) Result {
+		cfg := DefaultConfig()
+		cfg.Policy = Resume
+		cfg.FlushInterval = interval
+		cfg.MaxInsts = insts
+		res, err := Run(cfg, k.Image(), k.NewReader(1, insts*2), bpred.NewDefaultDecoupled())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	never := runWith(0)
+	rare := runWith(40_000)
+	often := runWith(5_000)
+
+	if never.RightPathMisses >= rare.RightPathMisses {
+		t.Errorf("flushing did not add misses: %d vs %d", never.RightPathMisses, rare.RightPathMisses)
+	}
+	if rare.RightPathMisses >= often.RightPathMisses {
+		t.Errorf("more flushes did not add more misses: %d vs %d", rare.RightPathMisses, often.RightPathMisses)
+	}
+	// Roughly one working set reload (~129 lines) per flush.
+	flushes := int64(insts / 5_000)
+	perFlush := float64(often.RightPathMisses-never.RightPathMisses) / float64(flushes)
+	if perFlush < 80 || perFlush > 160 {
+		t.Errorf("misses per flush %.1f, want ~129 (one working-set reload)", perFlush)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"specfetch/internal/bpred"
+	"specfetch/internal/synth"
+)
+
+// runKernel simulates a kernel bench under the baseline machine.
+func runKernel(t *testing.T, b *synth.Bench, mut func(*Config)) Result {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Policy = Resume
+	cfg.MaxInsts = 60_000
+	if mut != nil {
+		mut(&cfg)
+	}
+	res, err := Run(cfg, b.Image(), b.NewReader(1, 200_000), bpred.NewDefaultDecoupled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestLoopKernelSteadyState: a loop that fits the cache has only cold
+// misses and a near-perfectly predicted back branch.
+func TestLoopKernelSteadyState(t *testing.T) {
+	k, err := synth.LoopKernel(256, 64) // 1KB body, 64 trips
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runKernel(t, k, nil)
+	// Cold misses only: body is ~33 lines.
+	if res.RightPathMisses > 40 {
+		t.Errorf("loop kernel misses = %d, want cold-only (~33)", res.RightPathMisses)
+	}
+	// Mispredicts only at loop exits: 1 per ~64*257 instructions, plus the
+	// first-touch misfetch.
+	perExit := float64(res.Events.PHTMispredicts) / (float64(res.Insts) / (64 * 257))
+	if perExit > 2 {
+		t.Errorf("loop kernel mispredicts %.2f per exit, want ~1", perExit)
+	}
+}
+
+// TestLoopKernelThrashing: a loop bigger than the cache misses every line
+// every traversal, for every policy identically (no speculation effects in
+// straight-line code).
+func TestLoopKernelThrashing(t *testing.T) {
+	k, err := synth.LoopKernel(4096, 1000) // 16KB body >> 8K cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runKernel(t, k, nil)
+	// Body = 512 lines; every traversal misses every line: miss ratio
+	// approaches 1/8 instructions = 12.5%.
+	if mr := res.MissRatioPct(); mr < 10 || mr > 13 {
+		t.Errorf("thrashing loop miss ratio %.2f%%, want ~12.5%%", mr)
+	}
+}
+
+// TestCallKernelRAS: on a pure call chain, the RAS removes every BTB target
+// mispredict that the warmed-up baseline still suffers... actually a fixed
+// chain has stable return targets, so both predict well; the discriminating
+// case is DispatchKernel below. Here: returns predict near-perfectly after
+// warmup even without a RAS (stable call sites).
+func TestCallKernelReturns(t *testing.T) {
+	k, err := synth.CallKernel(8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runKernel(t, k, nil)
+	perInst := float64(res.Events.BTBMispredicts) / float64(res.Insts)
+	if perInst > 0.001 {
+		t.Errorf("stable call chain BTB mispredicts %.5f/inst, want ~0", perInst)
+	}
+}
+
+// TestDispatchKernelBTBMisses: uniform dispatch over N targets defeats a
+// last-target BTB: the indirect jump mispredicts at rate ~(N-1)/N.
+func TestDispatchKernelBTBMisses(t *testing.T) {
+	const fanout = 8
+	k, err := synth.DispatchKernel(fanout, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runKernel(t, k, nil)
+	// Dispatches per instruction: one indirect per ~(2+1+6+1)=10 insts.
+	dispatches := float64(res.Insts) / 10
+	rate := float64(res.Events.BTBMispredicts) / dispatches
+	want := float64(fanout-1) / fanout
+	if rate < want-0.12 || rate > want+0.12 {
+		t.Errorf("dispatch mispredict rate %.3f, want ~%.3f", rate, want)
+	}
+}

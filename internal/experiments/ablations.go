@@ -1,0 +1,401 @@
+package experiments
+
+import (
+	"fmt"
+
+	"specfetch/internal/bpred"
+	"specfetch/internal/cache"
+	"specfetch/internal/core"
+	"specfetch/internal/synth"
+	"specfetch/internal/texttable"
+	"specfetch/internal/trace"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out and the
+// paper's §2/§6 alternatives: prefetch scheme, BTB coupling, cache
+// associativity, fetch width, and a pipelined memory interface.
+
+// PrefetchScheme names one prefetch configuration for the ablation.
+type PrefetchScheme struct {
+	Name string
+	// Apply sets the scheme's fields on a config.
+	Apply func(*core.Config)
+}
+
+// PrefetchSchemes lists the compared prefetch engines: the paper's
+// next-line policy, Smith & Hsu target prefetching, Pierce & Mudge style
+// combined prefetching, and a Jouppi-style sequential stream.
+func PrefetchSchemes() []PrefetchScheme {
+	return []PrefetchScheme{
+		{Name: "none", Apply: func(c *core.Config) {}},
+		{Name: "next-line", Apply: func(c *core.Config) { c.NextLinePrefetch = true }},
+		{Name: "target", Apply: func(c *core.Config) { c.TargetPrefetch = true }},
+		{Name: "combined", Apply: func(c *core.Config) { c.NextLinePrefetch = true; c.TargetPrefetch = true }},
+		{Name: "stream-4", Apply: func(c *core.Config) { c.StreamDepth = 4 }},
+	}
+}
+
+// AblationPrefetch compares prefetch schemes under the Resume policy.
+func AblationPrefetch(opt Options) (*texttable.Table, error) {
+	benches, err := buildAll(opt)
+	if err != nil {
+		return nil, err
+	}
+	schemes := PrefetchSchemes()
+	headers := []string{"Program"}
+	for _, s := range schemes {
+		headers = append(headers, s.Name+" ISPI", s.Name+" traffic")
+	}
+	t := texttable.New("Ablation: prefetch scheme (Resume policy, 8K, 5-cycle penalty)", headers...)
+	for _, b := range benches {
+		cells := []any{b.Profile().Name}
+		var baseTraffic float64
+		for i, s := range schemes {
+			cfg := baseConfig(core.Resume)
+			s.Apply(&cfg)
+			res, err := runBench(b, cfg, opt.Insts)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				baseTraffic = float64(res.Traffic.Total())
+			}
+			ratio := 0.0
+			if baseTraffic > 0 {
+				ratio = float64(res.Traffic.Total()) / baseTraffic
+			}
+			cells = append(cells, res.TotalISPI(), ratio)
+		}
+		t.AddRowF(2, cells...)
+	}
+	return t, nil
+}
+
+// AblationBTBCoupling compares the paper's decoupled branch architecture
+// against a Pentium-style coupled BTB and a static not-taken predictor.
+func AblationBTBCoupling(opt Options) (*texttable.Table, error) {
+	benches, err := buildAll(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := texttable.New("Ablation: branch architecture (Oracle policy ISPI; decoupled gshare is the paper's baseline)",
+		"Program", "Decoupled", "Local PAg", "Coupled", "Static")
+	for _, b := range benches {
+		cfg := baseConfig(core.Oracle)
+		cfg.MaxInsts = opt.Insts
+		row := []any{b.Profile().Name}
+		for _, mk := range []func() bpred.Predictor{
+			func() bpred.Predictor { return bpred.NewDefaultDecoupled() },
+			func() bpred.Predictor {
+				l, err := bpred.NewDecoupledLocal(bpred.DefaultBTBConfig(), bpred.DefaultLocalConfig())
+				if err != nil {
+					panic(err)
+				}
+				return l
+			},
+			func() bpred.Predictor {
+				c, err := bpred.NewCoupled(bpred.DefaultBTBConfig())
+				if err != nil {
+					panic(err)
+				}
+				return c
+			},
+			func() bpred.Predictor { return bpred.Static{} },
+		} {
+			rd := trace.NewLimitReader(b.NewWalker(defaultStreamSeed), opt.Insts+opt.Insts/4)
+			res, err := core.Run(cfg, b.Image(), rd, mk())
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", b.Profile().Name, err)
+			}
+			row = append(row, res.TotalISPI())
+		}
+		t.AddRowF(2, row...)
+	}
+	return t, nil
+}
+
+// AblationAssociativity compares direct-mapped (the paper) against 2- and
+// 4-way caches of the same capacity.
+func AblationAssociativity(opt Options) (*texttable.Table, error) {
+	benches, err := buildAll(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := texttable.New("Ablation: 8K cache associativity (Resume policy ISPI / right-path miss %)",
+		"Program", "DM", "DM miss%", "2-way", "2w miss%", "4-way", "4w miss%")
+	for _, b := range benches {
+		cells := []any{b.Profile().Name}
+		for _, assoc := range []int{1, 2, 4} {
+			cfg := baseConfig(core.Resume)
+			cfg.ICache.Assoc = assoc
+			res, err := runBench(b, cfg, opt.Insts)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, res.TotalISPI(), res.MissRatioPct())
+		}
+		t.AddRowF(2, cells...)
+	}
+	return t, nil
+}
+
+// AblationFetchWidth sweeps the superscalar width (the paper fixes 4).
+func AblationFetchWidth(opt Options) (*texttable.Table, error) {
+	benches, err := buildAll(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := texttable.New("Ablation: fetch width (Resume policy, IPC)",
+		"Program", "2-wide", "4-wide", "8-wide")
+	for _, b := range benches {
+		cells := []any{b.Profile().Name}
+		for _, w := range []int{2, 4, 8} {
+			cfg := baseConfig(core.Resume)
+			cfg.FetchWidth = w
+			res, err := runBench(b, cfg, opt.Insts)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, res.IPC())
+		}
+		t.AddRowF(2, cells...)
+	}
+	return t, nil
+}
+
+// AblationPipelinedMemory measures what removing bus contention buys the
+// aggressive policies at the long miss latency — the paper's "pipelining
+// miss requests" future work.
+func AblationPipelinedMemory(opt Options) (*texttable.Table, error) {
+	benches, err := buildAll(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := texttable.New("Ablation: pipelined memory interface (20-cycle penalty, prefetch on; ISPI)",
+		"Program", "Resume", "Resume+pipe", "Pess", "Pess+pipe")
+	for _, b := range benches {
+		cells := []any{b.Profile().Name}
+		for _, pol := range []core.Policy{core.Resume, core.Pessimistic} {
+			for _, pipe := range []bool{false, true} {
+				cfg := baseConfig(pol)
+				cfg.MissPenalty = 20
+				cfg.NextLinePrefetch = true
+				cfg.PipelinedMemory = pipe
+				res, err := runBench(b, cfg, opt.Insts)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, res.TotalISPI())
+			}
+		}
+		t.AddRowF(2, cells...)
+	}
+	return t, nil
+}
+
+// AblationRAS compares the paper's BTB-only return prediction against
+// return-address stacks of increasing depth.
+func AblationRAS(opt Options) (*texttable.Table, error) {
+	benches, err := buildAll(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := texttable.New("Ablation: return-address stack (Oracle policy; ISPI / BTB target mispredicts per 100k insts)",
+		"Program", "no RAS", "mispred", "RAS-8", "mispred", "RAS-32", "mispred")
+	for _, b := range benches {
+		cells := []any{b.Profile().Name}
+		for _, depth := range []int{0, 8, 32} {
+			cfg := baseConfig(core.Oracle)
+			cfg.RASDepth = depth
+			res, err := runBench(b, cfg, opt.Insts)
+			if err != nil {
+				return nil, err
+			}
+			per100k := 0.0
+			if res.Insts > 0 {
+				per100k = 100_000 * float64(res.Events.BTBMispredicts) / float64(res.Insts)
+			}
+			cells = append(cells, res.TotalISPI(), per100k)
+		}
+		t.AddRowF(2, cells...)
+	}
+	return t, nil
+}
+
+// AblationVictimCache measures what a small fully associative victim buffer
+// buys the paper's direct-mapped cache.
+func AblationVictimCache(opt Options) (*texttable.Table, error) {
+	benches, err := buildAll(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := texttable.New("Ablation: victim buffer on the 8K direct-mapped cache (Resume policy; ISPI / right-path miss %)",
+		"Program", "none", "miss%", "4 lines", "miss%", "16 lines", "miss%")
+	for _, b := range benches {
+		cells := []any{b.Profile().Name}
+		for _, lines := range []int{0, 4, 16} {
+			cfg := baseConfig(core.Resume)
+			cfg.ICache.VictimLines = lines
+			res, err := runBench(b, cfg, opt.Insts)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, res.TotalISPI(), res.MissRatioPct())
+		}
+		t.AddRowF(2, cells...)
+	}
+	return t, nil
+}
+
+// AblationMSHR compares the paper's single resume/prefetch buffers against
+// multi-entry MSHR files, with and without a pipelined memory interface.
+func AblationMSHR(opt Options) (*texttable.Table, error) {
+	benches, err := buildAll(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := texttable.New("Ablation: non-blocking fill tracking (Resume, 20-cycle penalty, prefetch on; ISPI)",
+		"Program", "1 buf", "4 MSHR", "4 MSHR+pipe")
+	for _, b := range benches {
+		cells := []any{b.Profile().Name}
+		for _, v := range []struct {
+			mshrs int
+			pipe  bool
+		}{{0, false}, {4, false}, {4, true}} {
+			cfg := baseConfig(core.Resume)
+			cfg.MissPenalty = 20
+			cfg.NextLinePrefetch = true
+			cfg.MSHRs = v.mshrs
+			cfg.PipelinedMemory = v.pipe
+			res, err := runBench(b, cfg, opt.Insts)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, res.TotalISPI())
+		}
+		t.AddRowF(2, cells...)
+	}
+	return t, nil
+}
+
+// AblationCodeLayout evaluates profile-guided function reordering — the
+// paper's "profile driven basic-block reordering" future-work item. Each
+// benchmark is profiled on one stream and evaluated (original vs reordered
+// layout) on a different stream, so the gain is not an artifact of training
+// on the test trace.
+func AblationCodeLayout(opt Options) (*texttable.Table, error) {
+	benches, err := buildAll(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := texttable.New("Ablation: profile-guided code layout (Resume policy, 8K; ISPI / right-path miss %)",
+		"Program", "original", "miss%", "reordered", "miss%")
+	for _, b := range benches {
+		rb, err := synth.ReorderByProfile(b, opt.Insts, defaultStreamSeed+1)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Profile().Name, err)
+		}
+		cells := []any{b.Profile().Name}
+		for _, bench := range []*synth.Bench{b, rb} {
+			cfg := baseConfig(core.Resume)
+			cfg.MaxInsts = opt.Insts
+			rd := trace.NewLimitReader(bench.NewWalker(defaultStreamSeed), opt.Insts+opt.Insts/4)
+			res, err := core.Run(cfg, bench.Image(), rd, bpred.NewDefaultDecoupled())
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", b.Profile().Name, err)
+			}
+			cells = append(cells, res.TotalISPI(), res.MissRatioPct())
+		}
+		t.AddRowF(2, cells...)
+	}
+	return t, nil
+}
+
+// AblationL2 inserts a unified 64K L2 behind the paper's 8K L1 and varies
+// the memory penalty: the hierarchy makes the effective fill latency small
+// (the L2-hit case the paper's conclusion calls "an on-chip hierarchy of
+// caches"), which should restore the aggressive policies' advantage even at
+// a long memory latency.
+func AblationL2(opt Options) (*texttable.Table, error) {
+	benches, err := buildAll(opt)
+	if err != nil {
+		return nil, err
+	}
+	l2 := cache.Config{SizeBytes: 64 * 1024, LineBytes: 32, Assoc: 4}
+	t := texttable.New("Ablation: on-chip L2 (20-cycle memory, 5-cycle L2 hits; ISPI and L2 hit rate)",
+		"Program", "Opt noL2", "Pess noL2", "Opt +L2", "Pess +L2", "L2 hit%")
+	for _, b := range benches {
+		cells := []any{b.Profile().Name}
+		var hitPct float64
+		for _, withL2 := range []bool{false, true} {
+			for _, pol := range []core.Policy{core.Optimistic, core.Pessimistic} {
+				cfg := baseConfig(pol)
+				cfg.MissPenalty = 20
+				if withL2 {
+					l2c := l2
+					cfg.L2 = &l2c
+					cfg.L2Latency = 5
+				}
+				res, err := runBench(b, cfg, opt.Insts)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, res.TotalISPI())
+				if withL2 && res.Traffic.L2Hits+res.Traffic.L2Misses > 0 {
+					hitPct = 100 * float64(res.Traffic.L2Hits) /
+						float64(res.Traffic.L2Hits+res.Traffic.L2Misses)
+				}
+			}
+		}
+		cells = append(cells, hitPct)
+		t.AddRowF(2, cells...)
+	}
+	return t, nil
+}
+
+// AblationContextSwitch flushes the I-cache at decreasing intervals
+// (modelling OS context switches) and shows how the policy choice holds up:
+// flush-induced cold misses are ordinary right-path misses, so the
+// conservative policies' force_resolve tax grows with switch rate.
+func AblationContextSwitch(opt Options) (*texttable.Table, error) {
+	benches, err := buildAll(opt)
+	if err != nil {
+		return nil, err
+	}
+	intervals := []int64{0, 100_000, 20_000}
+	t := texttable.New("Ablation: context-switch flushing (Resume vs Pessimistic ISPI at flush intervals)",
+		"Program", "Res inf", "Pess inf", "Res 100k", "Pess 100k", "Res 20k", "Pess 20k")
+	for _, b := range benches {
+		cells := []any{b.Profile().Name}
+		for _, iv := range intervals {
+			for _, pol := range []core.Policy{core.Resume, core.Pessimistic} {
+				cfg := baseConfig(pol)
+				cfg.FlushInterval = iv
+				res, err := runBench(b, cfg, opt.Insts)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, res.TotalISPI())
+			}
+		}
+		t.AddRowF(2, cells...)
+	}
+	return t, nil
+}
+
+// Ablations maps names to runners (used by cmd/paperbench -ablation).
+func Ablations() map[string]func(Options) (*texttable.Table, error) {
+	return map[string]func(Options) (*texttable.Table, error){
+		"prefetch":      AblationPrefetch,
+		"btb":           AblationBTBCoupling,
+		"assoc":         AblationAssociativity,
+		"width":         AblationFetchWidth,
+		"pipelined-mem": AblationPipelinedMemory,
+		"ras":           AblationRAS,
+		"victim":        AblationVictimCache,
+		"mshr":          AblationMSHR,
+		"layout":        AblationCodeLayout,
+		"l2":            AblationL2,
+		"ctxswitch":     AblationContextSwitch,
+	}
+}

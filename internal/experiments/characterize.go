@@ -1,0 +1,105 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation section, plus the benchmark characterization used to
+// calibrate the synthetic workloads.
+package experiments
+
+import (
+	"fmt"
+
+	"specfetch/internal/bpred"
+	"specfetch/internal/cache"
+	"specfetch/internal/core"
+	"specfetch/internal/isa"
+	"specfetch/internal/synth"
+	"specfetch/internal/trace"
+)
+
+// cacheConfig builds the paper's direct-mapped cache of the given size.
+func cacheConfig(sizeBytes int) cache.Config {
+	return cache.Config{SizeBytes: sizeBytes, LineBytes: isa.DefaultLineBytes, Assoc: 1}
+}
+
+// baseConfig returns the paper's baseline machine with the given policy.
+func baseConfig(pol core.Policy) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Policy = pol
+	return cfg
+}
+
+// runBench runs one simulation over a synthetic benchmark with a fresh
+// predictor and the given instruction budget.
+func runBench(b *synth.Bench, cfg core.Config, insts int64) (core.Result, error) {
+	cfg.MaxInsts = insts
+	rd := trace.NewLimitReader(b.NewWalker(defaultStreamSeed), insts+insts/4)
+	return core.Run(cfg, b.Image(), rd, bpred.NewDefaultDecoupled())
+}
+
+// defaultStreamSeed keeps all experiments on the same dynamic stream per
+// benchmark, as the paper replays one trace per program.
+const defaultStreamSeed = 0x5eed
+
+// Characterization reports the Table 2/3 statistics of one (synthetic)
+// benchmark, in the paper's units.
+type Characterization struct {
+	Name string
+	Lang synth.Lang
+	// BranchPct is the dynamic branch percentage (Table 2).
+	BranchPct float64
+	// CondPct is the dynamic conditional-branch percentage.
+	CondPct float64
+	// Miss8K / Miss32K are right-path miss percentages per instruction on
+	// the paper's two cache sizes (Table 3).
+	Miss8K, Miss32K float64
+	// PHTISPIB1 / PHTISPIB4 are PHT mispredict ISPIs at depth 1 / 4.
+	PHTISPIB1, PHTISPIB4 float64
+	// BTBMisfetchISPI / BTBMispredictISPI at depth 4.
+	BTBMisfetchISPI, BTBMispredictISPI float64
+	// StaticInsts is the code footprint in instructions.
+	StaticInsts int
+}
+
+// Characterize measures a benchmark over the given instruction budget.
+func Characterize(b *synth.Bench, insts int64) (Characterization, error) {
+	c := Characterization{
+		Name:        b.Profile().Name,
+		Lang:        b.Profile().Lang,
+		StaticInsts: b.Image().NumInsts(),
+	}
+
+	st, err := trace.Scan(trace.NewLimitReader(b.NewWalker(defaultStreamSeed), insts))
+	if err != nil {
+		return c, fmt.Errorf("scanning %s: %w", c.Name, err)
+	}
+	c.BranchPct = 100 * st.BranchFrac()
+	if st.Insts > 0 {
+		c.CondPct = 100 * float64(st.Conditionals) / float64(st.Insts)
+	}
+
+	cfg8 := baseConfig(core.Oracle)
+	res8, err := runBench(b, cfg8, insts)
+	if err != nil {
+		return c, err
+	}
+	c.Miss8K = res8.MissRatioPct()
+	c.PHTISPIB4 = res8.PHTMispredictISPI()
+	c.BTBMisfetchISPI = res8.BTBMisfetchISPI()
+	c.BTBMispredictISPI = res8.BTBMispredictISPI()
+
+	cfg32 := baseConfig(core.Oracle)
+	cfg32.ICache = cacheConfig(32 * 1024)
+	res32, err := runBench(b, cfg32, insts)
+	if err != nil {
+		return c, err
+	}
+	c.Miss32K = res32.MissRatioPct()
+
+	cfgB1 := baseConfig(core.Oracle)
+	cfgB1.MaxUnresolved = 1
+	resB1, err := runBench(b, cfgB1, insts)
+	if err != nil {
+		return c, err
+	}
+	c.PHTISPIB1 = resB1.PHTMispredictISPI()
+
+	return c, nil
+}

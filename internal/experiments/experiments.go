@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"specfetch/internal/core"
+	"specfetch/internal/synth"
+)
+
+// Options selects what and how much to simulate.
+type Options struct {
+	// Insts is the per-benchmark correct-path instruction budget.
+	Insts int64
+	// Benchmarks restricts the run to these profile names (nil = all 13).
+	Benchmarks []string
+}
+
+// DefaultOptions runs all benchmarks at a budget that gives stable numbers
+// in a few seconds per table.
+func DefaultOptions() Options { return Options{Insts: 2_000_000} }
+
+// QuickOptions is used by tests: fewer instructions, representative subset.
+func QuickOptions() Options {
+	return Options{Insts: 300_000, Benchmarks: []string{"doduc", "gcc", "groff"}}
+}
+
+// selected returns the benchmark profiles the options name, in paper order.
+func selected(opt Options) ([]synth.Profile, error) {
+	all := synth.Profiles()
+	if opt.Benchmarks == nil {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, n := range opt.Benchmarks {
+		want[n] = true
+	}
+	var out []synth.Profile
+	for _, p := range all {
+		if want[p.Name] {
+			out = append(out, p)
+			delete(want, p.Name)
+		}
+	}
+	if len(want) > 0 {
+		var missing []string
+		for n := range want {
+			missing = append(missing, n)
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("experiments: unknown benchmarks %v", missing)
+	}
+	return out, nil
+}
+
+// buildAll generates the selected benchmarks.
+func buildAll(opt Options) ([]*synth.Bench, error) {
+	profs, err := selected(opt)
+	if err != nil {
+		return nil, err
+	}
+	benches := make([]*synth.Bench, len(profs))
+	err = parallelFor(len(profs), func(i int) error {
+		b, err := synth.Build(profs[i])
+		if err != nil {
+			return err
+		}
+		benches[i] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return benches, nil
+}
+
+// runPolicies simulates every listed policy over the benchmark under cfg
+// (fresh cache and predictor per run, same trace stream).
+func runPolicies(b *synth.Bench, cfg core.Config, insts int64, policies []core.Policy) (map[core.Policy]core.Result, error) {
+	results := make([]core.Result, len(policies))
+	err := parallelFor(len(policies), func(i int) error {
+		c := cfg
+		c.Policy = policies[i]
+		res, err := runBench(b, c, insts)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", b.Profile().Name, policies[i], err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[core.Policy]core.Result, len(policies))
+	for i, pol := range policies {
+		out[pol] = results[i]
+	}
+	return out, nil
+}
+
+// mean computes the arithmetic mean the paper's "Average" rows use.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// buildAllFromProfile generates one benchmark (test helper).
+func buildAllFromProfile(p synth.Profile) (*synth.Bench, error) { return synth.Build(p) }
+
+// parallelFor runs fn(i) for i in [0,n) on up to GOMAXPROCS goroutines and
+// returns the first error. Simulation runs are independent (each builds its
+// own engine, cache, and predictor over read-only benchmark state), so the
+// heavy sweeps parallelize cleanly; results are written to index i, keeping
+// output deterministic regardless of scheduling.
+func parallelFor(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		next int64 = -1
+		mu   sync.Mutex
+		err  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if e := fn(i); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return err
+}

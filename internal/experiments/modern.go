@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"specfetch/internal/bpred"
+	"specfetch/internal/cache"
+	"specfetch/internal/core"
+	"specfetch/internal/isa"
+	"specfetch/internal/synth"
+	"specfetch/internal/texttable"
+	"specfetch/internal/trace"
+)
+
+// ModernStudy asks whether the paper's 1995 conclusions survive
+// datacenter-scale instruction footprints: it runs the five policies over
+// the modern workload stand-ins (web/db/search, footprints ~10-20× SPEC92's)
+// across cache sizes, at both the low and high miss penalty.
+func ModernStudy(opt Options) (*texttable.Table, error) {
+	profiles := synth.ModernProfiles()
+	benches := make([]*synth.Bench, len(profiles))
+	if err := parallelFor(len(profiles), func(i int) error {
+		b, err := synth.Build(profiles[i])
+		if err != nil {
+			return err
+		}
+		benches[i] = b
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	cacheSizes := []int{8 * 1024, 32 * 1024, 64 * 1024}
+	penalties := []int{5, 20}
+
+	t := texttable.New("Modern-footprint study: does the 1995 verdict hold at datacenter scale? (total ISPI)",
+		"Program", "KB", "cache", "penalty", "Oracle", "Opt", "Res", "Pess", "Dec", "miss%", "verdict")
+	for _, b := range benches {
+		for _, cs := range cacheSizes {
+			for _, pen := range penalties {
+				cfg := baseConfig(core.Oracle)
+				cfg.ICache = cache.Config{SizeBytes: cs, LineBytes: isa.DefaultLineBytes, Assoc: 1}
+				cfg.MissPenalty = pen
+				cfg.MaxInsts = opt.Insts
+				results := make([]core.Result, len(core.Policies()))
+				pols := core.Policies()
+				if err := parallelFor(len(pols), func(i int) error {
+					c := cfg
+					c.Policy = pols[i]
+					rd := trace.NewLimitReader(b.NewWalker(defaultStreamSeed), opt.Insts+opt.Insts/4)
+					res, err := core.Run(c, b.Image(), rd, bpred.NewDefaultDecoupled())
+					if err != nil {
+						return fmt.Errorf("%s: %w", b.Profile().Name, err)
+					}
+					results[i] = res
+					return nil
+				}); err != nil {
+					return nil, err
+				}
+				byPol := map[core.Policy]core.Result{}
+				for i, p := range pols {
+					byPol[p] = results[i]
+				}
+				verdict := "aggressive"
+				if byPol[core.Pessimistic].TotalISPI() < byPol[core.Optimistic].TotalISPI() {
+					verdict = "conservative"
+				}
+				t.AddRowF(2,
+					b.Profile().Name,
+					b.Image().SizeBytes()/1024,
+					fmt.Sprintf("%dK", cs/1024),
+					fmt.Sprintf("%dc", pen),
+					byPol[core.Oracle].TotalISPI(),
+					byPol[core.Optimistic].TotalISPI(),
+					byPol[core.Resume].TotalISPI(),
+					byPol[core.Pessimistic].TotalISPI(),
+					byPol[core.Decode].TotalISPI(),
+					byPol[core.Oracle].MissRatioPct(),
+					verdict)
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"specfetch/internal/bpred"
+	"specfetch/internal/core"
+	"specfetch/internal/texttable"
+	"specfetch/internal/trace"
+)
+
+// SeedStats summarizes one policy's ISPI across dynamic stream seeds.
+type SeedStats struct {
+	Mean, StdDev, Min, Max float64
+	N                      int
+}
+
+// describe computes SeedStats from samples.
+func describe(xs []float64) SeedStats {
+	s := SeedStats{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(xs) == 0 {
+		return SeedStats{}
+	}
+	for _, x := range xs {
+		s.Mean += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - s.Mean
+		s.StdDev += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(s.StdDev / float64(len(xs)-1))
+	}
+	return s
+}
+
+// SeedSensitivityRow holds one benchmark's per-policy seed statistics.
+type SeedSensitivityRow struct {
+	Bench string
+	Stats map[core.Policy]SeedStats
+}
+
+// SeedSensitivityData reruns the baseline configuration over `seeds`
+// distinct dynamic streams per benchmark, quantifying how much the paper's
+// Table 5-style numbers move with workload randomness. The synthetic traces
+// make this analysis possible at all — the paper had one trace per program.
+func SeedSensitivityData(opt Options, seeds int) ([]SeedSensitivityRow, error) {
+	if seeds < 2 {
+		return nil, fmt.Errorf("experiments: need at least 2 seeds, got %d", seeds)
+	}
+	benches, err := buildAll(opt)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SeedSensitivityRow, 0, len(benches))
+	for _, b := range benches {
+		row := SeedSensitivityRow{Bench: b.Profile().Name, Stats: map[core.Policy]SeedStats{}}
+		for _, pol := range core.Policies() {
+			samples := make([]float64, 0, seeds)
+			for s := 0; s < seeds; s++ {
+				cfg := baseConfig(pol)
+				cfg.MaxInsts = opt.Insts
+				rd := trace.NewLimitReader(b.NewWalker(uint64(1000+s)), opt.Insts+opt.Insts/4)
+				res, err := core.Run(cfg, b.Image(), rd, bpred.NewDefaultDecoupled())
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s seed %d: %w", b.Profile().Name, pol, s, err)
+				}
+				samples = append(samples, res.TotalISPI())
+			}
+			row.Stats[pol] = describe(samples)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SeedSensitivity renders the analysis as a table (mean ± sd per policy).
+func SeedSensitivity(opt Options, seeds int) (*texttable.Table, error) {
+	rows, err := SeedSensitivityData(opt, seeds)
+	if err != nil {
+		return nil, err
+	}
+	headers := []string{"Program"}
+	for _, p := range core.Policies() {
+		headers = append(headers, shortPolicy(p))
+	}
+	t := texttable.New(fmt.Sprintf("Seed sensitivity: total ISPI over %d dynamic streams (mean ± sd)", seeds),
+		headers...)
+	for _, r := range rows {
+		cells := []string{r.Bench}
+		for _, p := range core.Policies() {
+			st := r.Stats[p]
+			cells = append(cells, fmt.Sprintf("%.2f ± %.3f", st.Mean, st.StdDev))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}

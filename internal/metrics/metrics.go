@@ -1,0 +1,131 @@
+// Package metrics defines the paper's performance accounting: issue slots
+// lost per instruction (ISPI), decomposed into the six penalty components of
+// Figures 1–4, plus branch-event and memory-traffic counters.
+package metrics
+
+import "fmt"
+
+// Component labels one cause of lost issue slots. The names follow the
+// paper's figure legends.
+type Component int
+
+const (
+	// BranchFull: fetch stalled because the machine hit its unresolved-
+	// branch limit.
+	BranchFull Component = iota
+	// Branch: misfetch/mispredict redirect windows.
+	Branch
+	// ForceResolve: a correct-path miss waiting for branch resolution or
+	// instruction decode before the fill may start (Pessimistic/Decode).
+	ForceResolve
+	// Bus: a correct-path demand access waiting for the bus or for an
+	// in-flight wrong-path/prefetch fill of the needed line.
+	Bus
+	// RTICache: waiting for a correct-path demand fill in progress.
+	RTICache
+	// WrongICache: correct-path fetch blocked past a redirect because a
+	// wrong-path fill is still outstanding (Optimistic, Decode).
+	WrongICache
+
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{
+	BranchFull:   "branch_full",
+	Branch:       "branch",
+	ForceResolve: "force_resolve",
+	Bus:          "bus",
+	RTICache:     "rt_icache",
+	WrongICache:  "wrong_icache",
+}
+
+// String returns the paper's legend name for the component.
+func (c Component) String() string {
+	if c >= 0 && c < NumComponents {
+		return componentNames[c]
+	}
+	return fmt.Sprintf("component(%d)", int(c))
+}
+
+// Components lists all components in the paper's stacking order
+// (bottom of the bar first).
+func Components() []Component {
+	return []Component{BranchFull, Branch, ForceResolve, Bus, RTICache, WrongICache}
+}
+
+// Breakdown accumulates lost issue slots per component.
+type Breakdown [NumComponents]int64
+
+// Add charges n lost slots to component c.
+func (b *Breakdown) Add(c Component, n int64) { b[c] += n }
+
+// Total returns the slots lost across all components.
+func (b Breakdown) Total() int64 {
+	var t int64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// ISPI converts a component's slot count to issue slots lost per
+// (correct-path) instruction.
+func (b Breakdown) ISPI(c Component, insts int64) float64 {
+	if insts == 0 {
+		return 0
+	}
+	return float64(b[c]) / float64(insts)
+}
+
+// TotalISPI returns the total penalty ISPI.
+func (b Breakdown) TotalISPI(insts int64) float64 {
+	if insts == 0 {
+		return 0
+	}
+	return float64(b.Total()) / float64(insts)
+}
+
+// AddAll accumulates another breakdown into b.
+func (b *Breakdown) AddAll(o Breakdown) {
+	for i := range b {
+		b[i] += o[i]
+	}
+}
+
+// BranchEvents counts branch-architecture mishaps, each with the issue
+// slots they cost. These feed the paper's Table 3 columns.
+type BranchEvents struct {
+	// PHTMispredicts are conditional branches whose predicted direction was
+	// wrong (4-cycle redirect).
+	PHTMispredicts int64
+	// PHTMispredictSlots is the issue-slot cost charged to those events.
+	PHTMispredictSlots int64
+	// BTBMisfetches are branches whose target had to be computed at decode
+	// (2-cycle redirect): predicted-taken BTB misses and unidentified
+	// unconditional branches.
+	BTBMisfetches int64
+	// BTBMisfetchSlots is the issue-slot cost charged to those events.
+	BTBMisfetchSlots int64
+	// BTBMispredicts are indirect transfers whose BTB target was stale
+	// (4-cycle redirect).
+	BTBMispredicts int64
+	// BTBMispredictSlots is the issue-slot cost charged to those events.
+	BTBMispredictSlots int64
+}
+
+// Traffic counts line movements between the I-cache and the next level.
+type Traffic struct {
+	// DemandFills are fills triggered by right-path misses.
+	DemandFills uint64
+	// WrongPathFills are fills initiated for wrong-path misses.
+	WrongPathFills uint64
+	// PrefetchFills are next-line (or extension) prefetches issued.
+	PrefetchFills uint64
+	// L2Hits / L2Misses split the fills by where they were served when a
+	// second-level cache is configured (both zero otherwise).
+	L2Hits   uint64
+	L2Misses uint64
+}
+
+// Total returns all line transfers.
+func (t Traffic) Total() uint64 { return t.DemandFills + t.WrongPathFills + t.PrefetchFills }

@@ -1,0 +1,58 @@
+package metrics
+
+import "testing"
+
+func TestComponentNames(t *testing.T) {
+	want := map[Component]string{
+		BranchFull:   "branch_full",
+		Branch:       "branch",
+		ForceResolve: "force_resolve",
+		Bus:          "bus",
+		RTICache:     "rt_icache",
+		WrongICache:  "wrong_icache",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), name)
+		}
+	}
+	if Component(99).String() == "" {
+		t.Error("out-of-range component has empty name")
+	}
+	if len(Components()) != int(NumComponents) {
+		t.Errorf("Components() length %d", len(Components()))
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(Branch, 16)
+	b.Add(RTICache, 20)
+	b.Add(RTICache, 4)
+	if b.Total() != 40 {
+		t.Errorf("Total = %d", b.Total())
+	}
+	if got := b.ISPI(RTICache, 100); got != 0.24 {
+		t.Errorf("ISPI = %v", got)
+	}
+	if got := b.TotalISPI(100); got != 0.4 {
+		t.Errorf("TotalISPI = %v", got)
+	}
+	if b.ISPI(Branch, 0) != 0 || b.TotalISPI(0) != 0 {
+		t.Error("zero-instruction ISPI not zero")
+	}
+
+	var o Breakdown
+	o.Add(Bus, 8)
+	b.AddAll(o)
+	if b[Bus] != 8 || b.Total() != 48 {
+		t.Errorf("AddAll: %+v", b)
+	}
+}
+
+func TestTraffic(t *testing.T) {
+	tr := Traffic{DemandFills: 10, WrongPathFills: 3, PrefetchFills: 7}
+	if tr.Total() != 20 {
+		t.Errorf("Total = %d", tr.Total())
+	}
+}

@@ -1,0 +1,181 @@
+// Package program models a static instruction image: every instruction in
+// the simulated binary, addressable by byte address. The speculative fetch
+// engine walks this image when it runs down a wrong path, because the
+// dynamic trace only covers the correct path.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"specfetch/internal/isa"
+)
+
+// Inst describes one static instruction.
+type Inst struct {
+	// Kind classifies the instruction for the branch architecture.
+	Kind isa.Kind
+	// Target is the statically-known destination for direct control
+	// transfers (CondBranch, Jump, Call). It is zero for Plain and for
+	// indirect transfers, whose destinations are only known dynamically.
+	Target isa.Addr
+}
+
+// Image is an immutable static code image. Addresses run from Base to
+// Base + 4*len(code); every slot holds an instruction.
+type Image struct {
+	base isa.Addr
+	code []Inst
+	// funcs records function entry addresses, sorted, for tooling.
+	funcs []Func
+}
+
+// Func names a function's extent inside the image.
+type Func struct {
+	Name  string
+	Entry isa.Addr
+	// NumInsts is the function length in instructions.
+	NumInsts int
+}
+
+// Builder accumulates instructions for an Image.
+type Builder struct {
+	base  isa.Addr
+	code  []Inst
+	funcs []Func
+}
+
+// NewBuilder starts an image at the given base address. The base must be
+// instruction aligned.
+func NewBuilder(base isa.Addr) (*Builder, error) {
+	if uint64(base)%isa.InstBytes != 0 {
+		return nil, fmt.Errorf("program: base %s is not %d-byte aligned", base, isa.InstBytes)
+	}
+	return &Builder{base: base}, nil
+}
+
+// PC returns the address the next appended instruction will occupy.
+func (b *Builder) PC() isa.Addr { return b.base.Plus(len(b.code)) }
+
+// Append adds one instruction and returns its address.
+func (b *Builder) Append(in Inst) isa.Addr {
+	pc := b.PC()
+	b.code = append(b.code, in)
+	return pc
+}
+
+// AppendPlain adds n plain instructions.
+func (b *Builder) AppendPlain(n int) {
+	for i := 0; i < n; i++ {
+		b.Append(Inst{Kind: isa.Plain})
+	}
+}
+
+// MarkFunc records a function entry at the current PC.
+func (b *Builder) MarkFunc(name string) {
+	b.funcs = append(b.funcs, Func{Name: name, Entry: b.PC()})
+}
+
+// Build finalizes the image. Function lengths are derived from the next
+// function's entry (or the image end). Direct-branch targets are validated
+// to land inside the image.
+func (b *Builder) Build() (*Image, error) {
+	img := &Image{base: b.base, code: b.code, funcs: b.funcs}
+	sort.Slice(img.funcs, func(i, j int) bool { return img.funcs[i].Entry < img.funcs[j].Entry })
+	for i := range img.funcs {
+		end := img.End()
+		if i+1 < len(img.funcs) {
+			end = img.funcs[i+1].Entry
+		}
+		img.funcs[i].NumInsts = int(end-img.funcs[i].Entry) / isa.InstBytes
+	}
+	for i, in := range img.code {
+		if in.Kind == isa.CondBranch || in.Kind == isa.Jump || in.Kind == isa.Call {
+			if uint64(in.Target)%isa.InstBytes != 0 {
+				return nil, fmt.Errorf("program: instruction %s has misaligned target %s", img.base.Plus(i), in.Target)
+			}
+			if !img.Contains(in.Target) {
+				return nil, fmt.Errorf("program: instruction %s has target %s outside image [%s,%s)",
+					img.base.Plus(i), in.Target, img.base, img.End())
+			}
+		}
+	}
+	return img, nil
+}
+
+// Base returns the lowest instruction address.
+func (img *Image) Base() isa.Addr { return img.base }
+
+// End returns the first address past the image.
+func (img *Image) End() isa.Addr { return img.base.Plus(len(img.code)) }
+
+// NumInsts returns the static instruction count.
+func (img *Image) NumInsts() int { return len(img.code) }
+
+// SizeBytes returns the code footprint in bytes.
+func (img *Image) SizeBytes() int { return len(img.code) * isa.InstBytes }
+
+// Contains reports whether a is a valid instruction address in the image.
+func (img *Image) Contains(a isa.Addr) bool {
+	return a >= img.base && a < img.End() && uint64(a)%isa.InstBytes == 0
+}
+
+// At returns the instruction at address a. It panics if a is outside the
+// image; callers on speculative paths should check Contains first.
+func (img *Image) At(a isa.Addr) Inst {
+	if !img.Contains(a) {
+		panic(fmt.Sprintf("program: address %s outside image [%s,%s)", a, img.base, img.End()))
+	}
+	return img.code[(a-img.base)/isa.InstBytes]
+}
+
+// Funcs returns the recorded functions, sorted by entry address.
+func (img *Image) Funcs() []Func { return img.funcs }
+
+// FuncAt returns the function containing address a, if any.
+func (img *Image) FuncAt(a isa.Addr) (Func, bool) {
+	i := sort.Search(len(img.funcs), func(i int) bool { return img.funcs[i].Entry > a })
+	if i == 0 {
+		return Func{}, false
+	}
+	f := img.funcs[i-1]
+	if a >= f.Entry && a < f.Entry.Plus(f.NumInsts) {
+		return f, true
+	}
+	return Func{}, false
+}
+
+// Stats summarizes the static mix of the image.
+type Stats struct {
+	Insts       int
+	Branches    int
+	Conditional int
+	Indirect    int
+	Calls       int
+	Returns     int
+}
+
+// Stats computes the static instruction mix.
+func (img *Image) Stats() Stats {
+	var s Stats
+	s.Insts = len(img.code)
+	for _, in := range img.code {
+		if !in.Kind.IsBranch() {
+			continue
+		}
+		s.Branches++
+		switch {
+		case in.Kind.IsConditional():
+			s.Conditional++
+		case in.Kind.IsIndirect():
+			s.Indirect++
+		}
+		if in.Kind.IsCall() {
+			s.Calls++
+		}
+		if in.Kind == isa.Return {
+			s.Returns++
+		}
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"specfetch/internal/isa"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b, err := NewBuilder(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.PC() != 0x1000 {
+		t.Fatalf("initial PC = %s", b.PC())
+	}
+	b.MarkFunc("f")
+	b.AppendPlain(3)
+	pc := b.Append(Inst{Kind: isa.CondBranch, Target: 0x1000})
+	if pc != 0x100c {
+		t.Fatalf("branch PC = %s", pc)
+	}
+	b.MarkFunc("g")
+	b.AppendPlain(2)
+	b.Append(Inst{Kind: isa.Return})
+
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Base() != 0x1000 || img.NumInsts() != 7 {
+		t.Fatalf("base %s insts %d", img.Base(), img.NumInsts())
+	}
+	if img.SizeBytes() != 28 {
+		t.Fatalf("size %d", img.SizeBytes())
+	}
+	if img.End() != 0x101c {
+		t.Fatalf("end %s", img.End())
+	}
+}
+
+func TestBuilderMisalignedBase(t *testing.T) {
+	if _, err := NewBuilder(0x1001); err == nil {
+		t.Error("misaligned base accepted")
+	}
+}
+
+func TestBuildRejectsBadTargets(t *testing.T) {
+	b, _ := NewBuilder(0)
+	b.AppendPlain(2)
+	b.Append(Inst{Kind: isa.Jump, Target: 0x8000}) // outside image
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "outside image") {
+		t.Errorf("out-of-image target not rejected: %v", err)
+	}
+
+	b2, _ := NewBuilder(0)
+	b2.AppendPlain(2)
+	b2.Append(Inst{Kind: isa.Jump, Target: 0x2}) // misaligned
+	if _, err := b2.Build(); err == nil || !strings.Contains(err.Error(), "misaligned") {
+		t.Errorf("misaligned target not rejected: %v", err)
+	}
+}
+
+func TestContainsAndAt(t *testing.T) {
+	b, _ := NewBuilder(0x100)
+	b.AppendPlain(1)
+	b.Append(Inst{Kind: isa.Call, Target: 0x100})
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if img.Contains(0xfc) || img.Contains(0x108) || img.Contains(0x102) {
+		t.Error("Contains accepts out-of-image or misaligned addresses")
+	}
+	if !img.Contains(0x100) || !img.Contains(0x104) {
+		t.Error("Contains rejects valid addresses")
+	}
+	if img.At(0x104).Kind != isa.Call {
+		t.Errorf("At(0x104) = %v", img.At(0x104))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("At outside image did not panic")
+		}
+	}()
+	img.At(0x108)
+}
+
+func TestFuncAt(t *testing.T) {
+	b, _ := NewBuilder(0)
+	b.MarkFunc("a")
+	b.AppendPlain(4)
+	b.MarkFunc("b")
+	b.AppendPlain(4)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs := img.Funcs()
+	if len(fs) != 2 || fs[0].Name != "a" || fs[1].Name != "b" {
+		t.Fatalf("funcs = %+v", fs)
+	}
+	if fs[0].NumInsts != 4 || fs[1].NumInsts != 4 {
+		t.Fatalf("func lengths = %d, %d", fs[0].NumInsts, fs[1].NumInsts)
+	}
+	f, ok := img.FuncAt(0x8)
+	if !ok || f.Name != "a" {
+		t.Errorf("FuncAt(0x8) = %+v, %v", f, ok)
+	}
+	f, ok = img.FuncAt(0x10)
+	if !ok || f.Name != "b" {
+		t.Errorf("FuncAt(0x10) = %+v, %v", f, ok)
+	}
+}
+
+func TestStats(t *testing.T) {
+	b, _ := NewBuilder(0)
+	b.AppendPlain(10)
+	b.Append(Inst{Kind: isa.CondBranch, Target: 0})
+	b.Append(Inst{Kind: isa.Call, Target: 0})
+	b.Append(Inst{Kind: isa.IndirectCall})
+	b.Append(Inst{Kind: isa.Return})
+	b.Append(Inst{Kind: isa.Jump, Target: 0})
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := img.Stats()
+	want := Stats{Insts: 15, Branches: 5, Conditional: 1, Indirect: 2, Calls: 2, Returns: 1}
+	if s != want {
+		t.Errorf("stats = %+v, want %+v", s, want)
+	}
+}

@@ -1,0 +1,11 @@
+package synth
+
+import "specfetch/internal/isa"
+
+// CondClass reports the generation class of the conditional branch at pc:
+// "bias", "pattern", "hard", "loop", or "guard". It returns "" for
+// addresses that are not conditional sites. It exists for calibration
+// diagnostics and tests.
+func (b *Bench) CondClass(pc isa.Addr) string {
+	return b.conds[pc].class
+}

@@ -1,0 +1,62 @@
+package synth
+
+// Modern-footprint profiles: datacenter-style stand-ins (web serving,
+// database, search ranking) with instruction footprints an order of
+// magnitude beyond SPEC92's. They are NOT calibrated against the paper —
+// they exist to ask whether the paper's 1995 conclusions survive 2020s-scale
+// front-end working sets (the "does it still hold" study in
+// experiments.ModernStudy).
+
+// ModernProfiles returns the datacenter-style workload set.
+func ModernProfiles() []Profile {
+	return []Profile{Web(), DB(), Search()}
+}
+
+// Web imitates a request-serving binary: a very large, flat code footprint
+// traversed shallowly per request, heavy virtual dispatch.
+func Web() Profile {
+	return Profile{
+		Name: "web", Lang: CPP,
+		Description: "request-serving datacenter binary: very large flat footprint, virtual dispatch",
+		Seed:        0x3eb,
+		NumFuncs:    1600, SegmentsPerFunc: [2]int{5, 12},
+		MeanBlockLen: 4.5, LoopFrac: 0.05, MeanLoopTrip: 6, LoopBodyMul: 1.0,
+		CallFrac: 0.15, IndirectCallFrac: 0.22, IndirectJumpFrac: 0.02, IndirectFanout: 6,
+		CondBiasFrac: 0.85, PatternFrac: 0.06, BiasNear: 0.03, BiasTakenSide: 0.35,
+		HardRange: [2]float64{0.10, 0.40},
+		ZipfS:     0.30, CallDepth: 6, DriverCallSites: 600, DriverCallExecP: 0.50,
+	}
+}
+
+// DB imitates a database engine: large footprint with a hot row-access
+// kernel plus broad cold paths, phased by query type.
+func DB() Profile {
+	return Profile{
+		Name: "db", Lang: CPP,
+		Description: "database engine: hot access kernel over a large phased footprint",
+		Seed:        0xdb2,
+		NumFuncs:    1000, SegmentsPerFunc: [2]int{5, 12},
+		MeanBlockLen: 5.0, LoopFrac: 0.10, MeanLoopTrip: 10, LoopBodyMul: 1.2,
+		CallFrac: 0.16, IndirectCallFrac: 0.15, IndirectJumpFrac: 0.02, IndirectFanout: 6,
+		CondBiasFrac: 0.86, PatternFrac: 0.06, BiasNear: 0.03, BiasTakenSide: 0.30,
+		HardRange: [2]float64{0.10, 0.40},
+		ZipfS:     0.55, CallDepth: 6, DriverCallSites: 400, DriverCallExecP: 0.55,
+		PhaseSites: 120, PhaseIters: 6,
+	}
+}
+
+// Search imitates a ranking stack: compute-heavy scoring loops embedded in
+// a large feature-extraction surface.
+func Search() Profile {
+	return Profile{
+		Name: "search", Lang: CPP,
+		Description: "search ranking stack: scoring loops inside a large feature surface",
+		Seed:        0x5ea,
+		NumFuncs:    1200, SegmentsPerFunc: [2]int{5, 12},
+		MeanBlockLen: 6.5, LoopFrac: 0.14, MeanLoopTrip: 16, LoopBodyMul: 1.6,
+		CallFrac: 0.15, IndirectCallFrac: 0.12, IndirectJumpFrac: 0.02, IndirectFanout: 5,
+		CondBiasFrac: 0.88, PatternFrac: 0.05, BiasNear: 0.02, BiasTakenSide: 0.30,
+		HardRange: [2]float64{0.10, 0.40},
+		ZipfS:     0.40, CallDepth: 6, DriverCallSites: 450, DriverCallExecP: 0.50,
+	}
+}

@@ -1,0 +1,146 @@
+// Package synth generates synthetic programs and dynamic traces that stand
+// in for the paper's ATOM-instrumented SPEC92 and C++ workloads (which are
+// not available). A Profile controls the first-order statistics that drive
+// the paper's results — code footprint, basic-block length (branch
+// density), loop structure, branch predictability, and indirect-branch
+// usage — and the 13 stock profiles are calibrated against the paper's
+// Table 2/3 characteristics for the benchmarks of the same names.
+package synth
+
+import "fmt"
+
+// Lang tags the source-language family a profile imitates; the paper groups
+// its observations by language.
+type Lang string
+
+const (
+	Fortran Lang = "Fortran"
+	C       Lang = "C"
+	CPP     Lang = "C++"
+)
+
+// Profile parameterizes the synthetic program generator.
+type Profile struct {
+	// Name identifies the benchmark (and seeds the RNG together with Seed).
+	Name string
+	// Lang is the imitated language family.
+	Lang Lang
+	// Description says what the stand-in models.
+	Description string
+	// Seed drives all generation and walking randomness.
+	Seed uint64
+
+	// NumFuncs is the number of functions beyond the driver; together with
+	// the block-length knobs it sets the static code footprint.
+	NumFuncs int
+	// SegmentsPerFunc bounds the segment count per function body [min,max].
+	SegmentsPerFunc [2]int
+	// MeanBlockLen is the mean plain-run length in instructions between
+	// control transfers; it controls the dynamic branch fraction
+	// (roughly 100/branch%).
+	MeanBlockLen float64
+	// LoopFrac is the fraction of segments that are innermost loops.
+	LoopFrac float64
+	// MeanLoopTrip is the mean iteration count of those loops.
+	MeanLoopTrip float64
+	// LoopBodyMul scales block length inside loop bodies (Fortran-style
+	// fat loop bodies use > 1).
+	LoopBodyMul float64
+	// CallFrac is the fraction of segments that are call sites (in
+	// functions that still have deeper callees available).
+	CallFrac float64
+	// IndirectCallFrac is the fraction of call sites that dispatch
+	// indirectly (C++ virtual calls).
+	IndirectCallFrac float64
+	// IndirectJumpFrac is the fraction of segments that are switch-style
+	// indirect jumps.
+	IndirectJumpFrac float64
+	// IndirectFanout is how many distinct targets an indirect site uses.
+	IndirectFanout int
+	// CondBiasFrac is the fraction of non-loop conditional sites that are
+	// strongly biased (easily predicted).
+	CondBiasFrac float64
+	// PatternFrac is the fraction of non-loop conditional sites that follow
+	// a short deterministic outcome pattern. A gshare predictor learns such
+	// sites through its global history, so they predict well at shallow
+	// speculation but degrade as deeper speculation makes the history stale
+	// — the paper's Table 3 B1-vs-B4 effect.
+	PatternFrac float64
+	// BiasNear is the not-taken-side probability of a biased site; the
+	// site's taken probability is BiasNear or 1-BiasNear.
+	BiasNear float64
+	// BiasTakenSide is the fraction of biased sites that are biased toward
+	// taken (0.5 = symmetric). Taken-biased sites add BTB pressure because
+	// only taken branches live in the BTB.
+	BiasTakenSide float64
+	// HardRange bounds taken probabilities of unbiased sites [lo,hi].
+	HardRange [2]float64
+	// ZipfS is the hotness skew when call sites pick callees; larger
+	// values concentrate execution in fewer functions (smaller hot set).
+	ZipfS float64
+	// CallDepth is the number of call-graph levels below the driver.
+	CallDepth int
+	// DriverCallSites is the number of guarded call segments in the
+	// driver's main loop.
+	DriverCallSites int
+	// DriverCallExecP is the probability each guarded driver call executes
+	// per iteration.
+	DriverCallExecP float64
+	// PhaseSites, when non-zero, enables phased execution: only a rotating
+	// window of PhaseSites driver call sites is active at a time, the rest
+	// are skipped. Phases give the trace the temporal locality real
+	// programs have — branch-predictor state stays warm within a phase,
+	// and cache reuse distances split into a short intra-phase mode and a
+	// long phase-transition tail.
+	PhaseSites int
+	// PhaseIters is how many driver iterations a phase lasts before the
+	// window slides by half its width. Must be positive when PhaseSites is.
+	PhaseIters int
+}
+
+// Validate checks profile sanity.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("synth: profile missing name")
+	case p.NumFuncs < 1:
+		return fmt.Errorf("synth: %s: NumFuncs %d < 1", p.Name, p.NumFuncs)
+	case p.SegmentsPerFunc[0] < 1 || p.SegmentsPerFunc[1] < p.SegmentsPerFunc[0]:
+		return fmt.Errorf("synth: %s: bad SegmentsPerFunc %v", p.Name, p.SegmentsPerFunc)
+	case p.MeanBlockLen < 1:
+		return fmt.Errorf("synth: %s: MeanBlockLen %.2f < 1", p.Name, p.MeanBlockLen)
+	case p.MeanLoopTrip < 1:
+		return fmt.Errorf("synth: %s: MeanLoopTrip %.2f < 1", p.Name, p.MeanLoopTrip)
+	case p.LoopFrac < 0 || p.CallFrac < 0 || p.LoopFrac+p.CallFrac+p.IndirectJumpFrac > 1:
+		return fmt.Errorf("synth: %s: segment fractions exceed 1", p.Name)
+	case p.IndirectCallFrac < 0 || p.IndirectCallFrac > 1:
+		return fmt.Errorf("synth: %s: IndirectCallFrac out of range", p.Name)
+	case p.IndirectFanout < 1:
+		return fmt.Errorf("synth: %s: IndirectFanout %d < 1", p.Name, p.IndirectFanout)
+	case p.CondBiasFrac < 0 || p.CondBiasFrac > 1:
+		return fmt.Errorf("synth: %s: CondBiasFrac out of range", p.Name)
+	case p.PatternFrac < 0 || p.CondBiasFrac+p.PatternFrac > 1:
+		return fmt.Errorf("synth: %s: CondBiasFrac+PatternFrac exceed 1", p.Name)
+	case p.BiasNear <= 0 || p.BiasNear >= 0.5:
+		return fmt.Errorf("synth: %s: BiasNear %.3f outside (0,0.5)", p.Name, p.BiasNear)
+	case p.BiasTakenSide < 0 || p.BiasTakenSide > 1:
+		return fmt.Errorf("synth: %s: BiasTakenSide out of range", p.Name)
+	case p.HardRange[0] < 0 || p.HardRange[1] > 1 || p.HardRange[0] > p.HardRange[1]:
+		return fmt.Errorf("synth: %s: bad HardRange %v", p.Name, p.HardRange)
+	case p.ZipfS <= 0:
+		return fmt.Errorf("synth: %s: ZipfS %.2f not positive", p.Name, p.ZipfS)
+	case p.CallDepth < 1:
+		return fmt.Errorf("synth: %s: CallDepth %d < 1", p.Name, p.CallDepth)
+	case p.DriverCallSites < 1:
+		return fmt.Errorf("synth: %s: DriverCallSites %d < 1", p.Name, p.DriverCallSites)
+	case p.DriverCallExecP <= 0 || p.DriverCallExecP > 1:
+		return fmt.Errorf("synth: %s: DriverCallExecP out of range", p.Name)
+	case p.LoopBodyMul <= 0:
+		return fmt.Errorf("synth: %s: LoopBodyMul %.2f not positive", p.Name, p.LoopBodyMul)
+	case p.PhaseSites < 0 || p.PhaseSites > p.DriverCallSites:
+		return fmt.Errorf("synth: %s: PhaseSites %d outside [0, DriverCallSites]", p.Name, p.PhaseSites)
+	case p.PhaseSites > 0 && p.PhaseIters < 1:
+		return fmt.Errorf("synth: %s: PhaseIters must be positive with phasing on", p.Name)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+// Package texttable renders the paper's tables and stacked-bar figures as
+// plain text and CSV, so every experiment's output can be compared to the
+// paper from a terminal or checked into results files.
+package texttable
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows with a fixed header.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends one row; cells beyond the header width are dropped and
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowF appends a row of formatted values: strings pass through, float64
+// renders with the given precision, ints render plainly.
+func (t *Table) AddRowF(prec int, cells ...any) {
+	out := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out = append(out, v)
+		case float64:
+			out = append(out, fmt.Sprintf("%.*f", prec, v))
+		case int:
+			out = append(out, fmt.Sprintf("%d", v))
+		case int64:
+			out = append(out, fmt.Sprintf("%d", v))
+		case uint64:
+			out = append(out, fmt.Sprintf("%d", v))
+		default:
+			out = append(out, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(out...)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (simple cells: no quoting needed for
+// our numeric/identifier content, but commas are escaped defensively).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders to a string (for tests and logs).
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+
+// StackedBars renders grouped, stacked horizontal bars — the textual
+// equivalent of the paper's Figures 1–4. Each bar is a labelled sequence of
+// components; the bar length is proportional to the total value.
+type StackedBars struct {
+	title    string
+	unit     string
+	segments []string // component names, in stacking order
+	bars     []bar
+	scale    float64 // value per character; 0 = auto
+}
+
+type bar struct {
+	group string // e.g. benchmark name
+	label string // e.g. policy name
+	vals  []float64
+}
+
+// NewStackedBars creates a figure with the given stacking order.
+func NewStackedBars(title, unit string, segments ...string) *StackedBars {
+	return &StackedBars{title: title, unit: unit, segments: segments}
+}
+
+// AddBar appends one bar; vals must align with the segment order.
+func (s *StackedBars) AddBar(group, label string, vals ...float64) {
+	v := make([]float64, len(s.segments))
+	copy(v, vals)
+	s.bars = append(s.bars, bar{group: group, label: label, vals: v})
+}
+
+// segmentRunes are the fill characters per component, cycled in order.
+var segmentRunes = []rune{'#', '=', '+', 'o', '.', '~', '*', '%'}
+
+// Render writes the figure.
+func (s *StackedBars) Render(w io.Writer) error {
+	const width = 60
+	maxTotal := 0.0
+	for _, b := range s.bars {
+		t := 0.0
+		for _, v := range b.vals {
+			t += v
+		}
+		if t > maxTotal {
+			maxTotal = t
+		}
+	}
+	scale := s.scale
+	if scale <= 0 {
+		if maxTotal <= 0 {
+			maxTotal = 1
+		}
+		scale = maxTotal / width
+	}
+
+	labelW := 0
+	for _, b := range s.bars {
+		l := len(b.group) + 1 + len(b.label)
+		if l > labelW {
+			labelW = l
+		}
+	}
+
+	var out strings.Builder
+	if s.title != "" {
+		fmt.Fprintf(&out, "%s\n", s.title)
+	}
+	fmt.Fprintf(&out, "legend:")
+	for i, seg := range s.segments {
+		fmt.Fprintf(&out, "  %c=%s", segmentRunes[i%len(segmentRunes)], seg)
+	}
+	fmt.Fprintf(&out, "   (each char = %.3f %s)\n", scale, s.unit)
+
+	prevGroup := ""
+	for _, b := range s.bars {
+		if b.group != prevGroup {
+			if prevGroup != "" {
+				out.WriteByte('\n')
+			}
+			prevGroup = b.group
+		}
+		total := 0.0
+		fmt.Fprintf(&out, "%-*s |", labelW, b.group+" "+b.label)
+		for i, v := range b.vals {
+			total += v
+			n := int(v/scale + 0.5)
+			out.WriteString(strings.Repeat(string(segmentRunes[i%len(segmentRunes)]), n))
+		}
+		fmt.Fprintf(&out, "| %.3f\n", total)
+	}
+	_, err := io.WriteString(w, out.String())
+	return err
+}
+
+// String renders to a string.
+func (s *StackedBars) String() string {
+	var b strings.Builder
+	if err := s.Render(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+
+// RenderCSV writes the figure's data as CSV: one row per bar with the
+// per-segment values and the total.
+func (s *StackedBars) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("group,label")
+	for _, seg := range s.segments {
+		b.WriteByte(',')
+		b.WriteString(seg)
+	}
+	b.WriteString(",total\n")
+	for _, bar := range s.bars {
+		fmt.Fprintf(&b, "%s,%s", bar.group, bar.label)
+		total := 0.0
+		for _, v := range bar.vals {
+			fmt.Fprintf(&b, ",%.6f", v)
+			total += v
+		}
+		fmt.Fprintf(&b, ",%.6f\n", total)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,105 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := New("My Title", "Program", "ISPI")
+	tab.AddRow("gcc", "1.23")
+	tab.AddRowF(2, "groff", 2.345)
+	tab.AddRowF(2, "n", 42, int64(7), uint64(8))
+	out := tab.String()
+
+	for _, want := range []string{"My Title", "Program", "ISPI", "gcc", "1.23", "groff", "2.35"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tab := New("", "A", "B", "C")
+	tab.AddRow("x") // short row pads
+	out := tab.String()
+	if !strings.Contains(out, "x") {
+		t.Error("row lost")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := New("t", "A", "B")
+	tab.AddRow("plain", `with "quote", and comma`)
+	var b strings.Builder
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "A,B\n") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, `"with ""quote"", and comma"`) {
+		t.Errorf("escaping wrong: %q", out)
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	fig := NewStackedBars("Fig", "ISPI", "branch", "rt_icache")
+	fig.AddBar("gcc", "Oracle", 0.5, 0.9)
+	fig.AddBar("gcc", "Resume", 0.5, 0.7)
+	fig.AddBar("li", "Oracle", 0.3, 0.2)
+	out := fig.String()
+
+	for _, want := range []string{"Fig", "legend:", "#=branch", "==rt_icache",
+		"gcc Oracle", "gcc Resume", "li Oracle", "1.400", "1.200", "0.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Bars must contain both fill characters.
+	if !strings.Contains(out, "#") || !strings.Contains(out, "=") {
+		t.Error("bar fills missing")
+	}
+	// The larger bar renders longer.
+	var oracleLen, resumeLen int
+	for _, ln := range strings.Split(out, "\n") {
+		fill := strings.Count(ln, "#") + strings.Count(ln, "=")
+		if strings.Contains(ln, "gcc Oracle") {
+			oracleLen = fill
+		}
+		if strings.Contains(ln, "gcc Resume") {
+			resumeLen = fill
+		}
+	}
+	if oracleLen <= resumeLen {
+		t.Errorf("oracle bar (%d) not longer than resume (%d)", oracleLen, resumeLen)
+	}
+}
+
+func TestStackedBarsZero(t *testing.T) {
+	fig := NewStackedBars("z", "u", "a")
+	fig.AddBar("g", "l", 0)
+	if out := fig.String(); !strings.Contains(out, "0.000") {
+		t.Errorf("zero bar rendering: %q", out)
+	}
+}
+
+func TestStackedBarsCSV(t *testing.T) {
+	fig := NewStackedBars("f", "ISPI", "a", "b")
+	fig.AddBar("gcc", "Oracle", 0.25, 0.75)
+	var buf strings.Builder
+	if err := fig.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"group,label,a,b,total", "gcc,Oracle,0.250000,0.750000,1.000000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}

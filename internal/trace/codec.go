@@ -1,0 +1,302 @@
+// Text and binary trace codecs.
+//
+// Text format (one record per line, '#' comments allowed):
+//
+//	<start-hex> <n> <kind> [<taken:01> <target-hex>]
+//
+// e.g. "0x1000 7 cond 1 0x1200" or "0x1200 12 plain".
+//
+// Binary format: a magic header followed by varint-delta records, compact
+// enough for multi-hundred-million-instruction traces.
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"specfetch/internal/isa"
+)
+
+// TextWriter emits the line-oriented format.
+type TextWriter struct {
+	w *bufio.Writer
+}
+
+// NewTextWriter wraps w.
+func NewTextWriter(w io.Writer) *TextWriter { return &TextWriter{w: bufio.NewWriter(w)} }
+
+// Write implements Writer.
+func (t *TextWriter) Write(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	var err error
+	if r.BrKind == isa.Plain {
+		_, err = fmt.Fprintf(t.w, "0x%x %d plain\n", uint64(r.Start), r.N)
+	} else {
+		tk := 0
+		if r.Taken {
+			tk = 1
+		}
+		_, err = fmt.Fprintf(t.w, "0x%x %d %s %d 0x%x\n", uint64(r.Start), r.N, r.BrKind, tk, uint64(r.Target))
+	}
+	return err
+}
+
+// Flush drains buffered output.
+func (t *TextWriter) Flush() error { return t.w.Flush() }
+
+// TextReader parses the line-oriented format.
+type TextReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewTextReader wraps r.
+func NewTextReader(r io.Reader) *TextReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	return &TextReader{sc: sc}
+}
+
+// Next implements Reader.
+func (t *TextReader) Next() (Record, error) {
+	for t.sc.Scan() {
+		t.line++
+		line := strings.TrimSpace(t.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseTextRecord(line)
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: line %d: %w", t.line, err)
+		}
+		return rec, nil
+	}
+	if err := t.sc.Err(); err != nil {
+		return Record{}, err
+	}
+	return Record{}, io.EOF
+}
+
+func parseTextRecord(line string) (Record, error) {
+	f := strings.Fields(line)
+	if len(f) < 3 {
+		return Record{}, fmt.Errorf("want at least 3 fields, got %d", len(f))
+	}
+	start, err := strconv.ParseUint(strings.TrimPrefix(f[0], "0x"), 16, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad start address %q: %w", f[0], err)
+	}
+	n, err := strconv.Atoi(f[1])
+	if err != nil {
+		return Record{}, fmt.Errorf("bad length %q: %w", f[1], err)
+	}
+	kind, ok := isa.ParseKind(f[2])
+	if !ok {
+		return Record{}, fmt.Errorf("unknown kind %q", f[2])
+	}
+	rec := Record{Start: isa.Addr(start), N: n, BrKind: kind}
+	if kind != isa.Plain {
+		if len(f) != 5 {
+			return Record{}, fmt.Errorf("branch record needs 5 fields, got %d", len(f))
+		}
+		switch f[3] {
+		case "0":
+		case "1":
+			rec.Taken = true
+		default:
+			return Record{}, fmt.Errorf("bad taken flag %q", f[3])
+		}
+		tgt, err := strconv.ParseUint(strings.TrimPrefix(f[4], "0x"), 16, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("bad target %q: %w", f[4], err)
+		}
+		rec.Target = isa.Addr(tgt)
+	} else if len(f) != 3 {
+		return Record{}, fmt.Errorf("plain record needs 3 fields, got %d", len(f))
+	}
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// binMagic identifies the binary trace format, versioned in the last byte.
+var binMagic = [8]byte{'s', 'p', 'e', 'c', 'f', 't', 'r', 1}
+
+// BinaryWriter emits the compact varint format.
+type BinaryWriter struct {
+	w      *bufio.Writer
+	opened bool
+	buf    [4 * binary.MaxVarintLen64]byte
+}
+
+// NewBinaryWriter wraps w; the header is written lazily with the first record.
+func NewBinaryWriter(w io.Writer) *BinaryWriter { return &BinaryWriter{w: bufio.NewWriter(w)} }
+
+// Write implements Writer.
+func (b *BinaryWriter) Write(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if !b.opened {
+		if _, err := b.w.Write(binMagic[:]); err != nil {
+			return err
+		}
+		b.opened = true
+	}
+	// Layout: header varint = N<<4 | kind<<1 | taken; then start addr; then
+	// target (only when taken).
+	tk := uint64(0)
+	if r.Taken {
+		tk = 1
+	}
+	n := binary.PutUvarint(b.buf[:], uint64(r.N)<<4|uint64(r.BrKind)<<1|tk)
+	n += binary.PutUvarint(b.buf[n:], uint64(r.Start))
+	if r.Taken {
+		n += binary.PutUvarint(b.buf[n:], uint64(r.Target))
+	}
+	_, err := b.w.Write(b.buf[:n])
+	return err
+}
+
+// Flush drains buffered output. Writing zero records still produces a valid
+// (empty) trace file consisting of just the magic header.
+func (b *BinaryWriter) Flush() error {
+	if !b.opened {
+		if _, err := b.w.Write(binMagic[:]); err != nil {
+			return err
+		}
+		b.opened = true
+	}
+	return b.w.Flush()
+}
+
+// BinaryReader parses the compact varint format.
+type BinaryReader struct {
+	r      *bufio.Reader
+	opened bool
+}
+
+// NewBinaryReader wraps r.
+func NewBinaryReader(r io.Reader) *BinaryReader { return &BinaryReader{r: bufio.NewReader(r)} }
+
+// Next implements Reader.
+func (b *BinaryReader) Next() (Record, error) {
+	if !b.opened {
+		var got [8]byte
+		if _, err := io.ReadFull(b.r, got[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return Record{}, io.EOF
+			}
+			return Record{}, fmt.Errorf("trace: reading binary header: %w", err)
+		}
+		if got != binMagic {
+			return Record{}, fmt.Errorf("trace: bad binary trace magic %q", got[:])
+		}
+		b.opened = true
+	}
+	hdr, err := binary.ReadUvarint(b.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, err
+	}
+	rec := Record{
+		N:      int(hdr >> 4),
+		BrKind: isa.Kind(hdr >> 1 & 0x7),
+		Taken:  hdr&1 != 0,
+	}
+	start, err := binary.ReadUvarint(b.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	rec.Start = isa.Addr(start)
+	if rec.Taken {
+		tgt, err := binary.ReadUvarint(b.r)
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		rec.Target = isa.Addr(tgt)
+	}
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// Open wraps r with the right reader by sniffing the binary magic; anything
+// else is treated as the text format.
+func Open(r io.Reader) (Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(8)
+	if err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	if len(head) == 8 && [8]byte(head) == binMagic {
+		return NewBinaryReader(br), nil
+	}
+	return NewTextReader(br), nil
+}
+
+// gzipMagic is the RFC 1952 header prefix.
+var gzipMagic = [2]byte{0x1f, 0x8b}
+
+// OpenFile extends Open with transparent gzip decompression: gzip-compressed
+// traces (either codec inside) are detected by their magic and unwrapped.
+func OpenFile(r io.Reader) (Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	if len(head) == 2 && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: opening gzip stream: %w", err)
+		}
+		return Open(zr)
+	}
+	return Open(br)
+}
+
+// GzipWriter compresses an underlying trace writer's output. Close flushes
+// both layers.
+type GzipWriter struct {
+	inner interface {
+		Writer
+		Flush() error
+	}
+	zw *gzip.Writer
+}
+
+// NewGzipBinaryWriter writes the binary format through gzip.
+func NewGzipBinaryWriter(w io.Writer) *GzipWriter {
+	zw := gzip.NewWriter(w)
+	return &GzipWriter{inner: NewBinaryWriter(zw), zw: zw}
+}
+
+// NewGzipTextWriter writes the text format through gzip.
+func NewGzipTextWriter(w io.Writer) *GzipWriter {
+	zw := gzip.NewWriter(w)
+	return &GzipWriter{inner: NewTextWriter(zw), zw: zw}
+}
+
+// Write implements Writer.
+func (g *GzipWriter) Write(r Record) error { return g.inner.Write(r) }
+
+// Close flushes the trace writer and terminates the gzip stream.
+func (g *GzipWriter) Close() error {
+	if err := g.inner.Flush(); err != nil {
+		return err
+	}
+	return g.zw.Close()
+}

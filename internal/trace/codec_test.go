@@ -1,0 +1,353 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"specfetch/internal/isa"
+)
+
+// sampleRecords is a hand-picked set covering every kind and flag shape.
+func sampleRecords() []Record {
+	return []Record{
+		{Start: 0x1000, N: 12, BrKind: isa.Plain},
+		{Start: 0x1030, N: 4, BrKind: isa.CondBranch, Taken: true, Target: 0x2000},
+		{Start: 0x2000, N: 3, BrKind: isa.CondBranch, Taken: false},
+		{Start: 0x200c, N: 1, BrKind: isa.Jump, Taken: true, Target: 0x1000},
+		{Start: 0x1000, N: 2, BrKind: isa.Call, Taken: true, Target: 0x4000},
+		{Start: 0x4000, N: 9, BrKind: isa.Return, Taken: true, Target: 0x1008},
+		{Start: 0x1008, N: 5, BrKind: isa.IndirectCall, Taken: true, Target: 0x8000},
+		{Start: 0x8000, N: 64, BrKind: isa.IndirectJump, Taken: true, Target: 0x1000},
+	}
+}
+
+func roundTripText(t *testing.T, recs []Record) []Record {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewTextWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	rd := NewTextReader(&buf)
+	for {
+		r, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return got
+		}
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got = append(got, r)
+	}
+}
+
+func roundTripBinary(t *testing.T, recs []Record) []Record {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	rd := NewBinaryReader(&buf)
+	for {
+		r, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return got
+		}
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got = append(got, r)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	got := roundTripText(t, recs)
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	got := roundTripBinary(t, recs)
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+// randomRecord generates a random valid record for property testing.
+func randomRecord(r *rand.Rand) Record {
+	kinds := []isa.Kind{isa.Plain, isa.CondBranch, isa.Jump, isa.Call,
+		isa.Return, isa.IndirectJump, isa.IndirectCall}
+	rec := Record{
+		Start:  isa.Addr(r.Int63n(1<<40)) &^ 3,
+		N:      1 + r.Intn(200),
+		BrKind: kinds[r.Intn(len(kinds))],
+	}
+	switch {
+	case rec.BrKind == isa.Plain:
+	case rec.BrKind.IsConditional():
+		rec.Taken = r.Intn(2) == 0
+	default:
+		rec.Taken = true
+	}
+	if rec.Taken {
+		rec.Target = isa.Addr(r.Int63n(1<<40)) &^ 3
+	}
+	return rec
+}
+
+// TestCodecRoundTripProperty round-trips random record batches through both
+// codecs.
+func TestCodecRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%50) + 1
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = randomRecord(r)
+		}
+		gotT := roundTripText(t, recs)
+		gotB := roundTripBinary(t, recs)
+		if len(gotT) != n || len(gotB) != n {
+			return false
+		}
+		for i := range recs {
+			if gotT[i] != recs[i] || gotB[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTextReaderSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n0x1000 3 plain\n   \n# another\n0x100c 1 jump 1 0x1000\n"
+	rd := NewTextReader(strings.NewReader(in))
+	var n int
+	for {
+		_, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("parsed %d records, want 2", n)
+	}
+}
+
+func TestTextReaderErrors(t *testing.T) {
+	cases := []string{
+		"0x1000",               // too few fields
+		"zzz 3 plain",          // bad address
+		"0x1000 x plain",       // bad length
+		"0x1000 3 frob",        // unknown kind
+		"0x1000 3 cond 1",      // missing target
+		"0x1000 3 cond 2 0x0",  // bad taken flag
+		"0x1000 3 cond 1 zzz",  // bad target
+		"0x1000 3 plain extra", // extra field on plain
+		"0x1000 0 plain",       // zero length
+		"0x1000 1 jump 0 0x0",  // not-taken unconditional
+	}
+	for _, in := range cases {
+		rd := NewTextReader(strings.NewReader(in))
+		if _, err := rd.Next(); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestBinaryReaderBadMagic(t *testing.T) {
+	rd := NewBinaryReader(bytes.NewReader([]byte("notatrace...")))
+	if _, err := rd.Next(); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestBinaryReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Write(Record{Start: 0x123456789ab0, N: 100, BrKind: isa.Jump, Taken: true, Target: 0x1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut mid-record (after the magic and the first varint byte).
+	rd := NewBinaryReader(bytes.NewReader(full[:10]))
+	if _, err := rd.Next(); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd := NewBinaryReader(&buf)
+	if _, err := rd.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("empty trace: want EOF, got %v", err)
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	bad := Record{Start: 0x1000, N: 0, BrKind: isa.Plain}
+	if err := NewTextWriter(io.Discard).Write(bad); err == nil {
+		t.Error("text writer accepted invalid record")
+	}
+	if err := NewBinaryWriter(io.Discard).Write(bad); err == nil {
+		t.Error("binary writer accepted invalid record")
+	}
+}
+
+func TestOpenSniffsFormat(t *testing.T) {
+	recs := sampleRecords()
+
+	var bin bytes.Buffer
+	bw := NewBinaryWriter(&bin)
+	for _, r := range recs {
+		if err := bw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Open(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rd.(*BinaryReader); !ok {
+		t.Errorf("binary input opened as %T", rd)
+	}
+	got, err := rd.Next()
+	if err != nil || got != recs[0] {
+		t.Errorf("binary first record: %+v, %v", got, err)
+	}
+
+	var txt bytes.Buffer
+	tw := NewTextWriter(&txt)
+	for _, r := range recs {
+		if err := tw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err = Open(&txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rd.(*TextReader); !ok {
+		t.Errorf("text input opened as %T", rd)
+	}
+	got, err = rd.Next()
+	if err != nil || got != recs[0] {
+		t.Errorf("text first record: %+v, %v", got, err)
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	for name, mk := range map[string]func(io.Writer) *GzipWriter{
+		"binary": NewGzipBinaryWriter,
+		"text":   NewGzipTextWriter,
+	} {
+		var buf bytes.Buffer
+		w := mk(&buf)
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				t.Fatalf("%s write: %v", name, err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// The compressed stream must start with the gzip magic.
+		if b := buf.Bytes(); b[0] != 0x1f || b[1] != 0x8b {
+			t.Fatalf("%s: not gzip framed", name)
+		}
+		rd, err := OpenFile(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Record
+		for {
+			r, err := rd.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s read: %v", name, err)
+			}
+			got = append(got, r)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("%s: got %d records, want %d", name, len(got), len(recs))
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				t.Errorf("%s record %d: %+v != %+v", name, i, got[i], recs[i])
+			}
+		}
+	}
+}
+
+func TestOpenFilePlain(t *testing.T) {
+	// Uncompressed input still opens through OpenFile.
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Write(sampleRecords()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzTextReader feeds arbitrary bytes to the text parser: it must never
+// panic, and every record it does accept must validate.
+func FuzzTextReader(f *testing.F) {
+	f.Add("0x1000 7 cond 1 0x1200\n0x1200 12 plain\n")
+	f.Add("# comment\n\n0x0 1 jump 1 0x0\n")
+	f.Add("0x1000 3 frob\n")
+	f.Add("0x1000 99999999999999999999 plain\n")
+	f.Add("\x00\x01\x02")
+	f.Fuzz(func(t *testing.T, in string) {
+		rd := NewTextReader(bytes.NewReader([]byte(in)))
+		for i := 0; i < 1000; i++ {
+			rec, err := rd.Next()
+			if err != nil {
+				return // EOF or parse error both fine
+			}
+			if verr := rec.Validate(); verr != nil {
+				t.Fatalf("parser accepted invalid record %+v: %v", rec, verr)
+			}
+		}
+	})
+}
+
+// FuzzBinaryReader feeds arbitrary bytes to the binary parser.
+func FuzzBinaryReader(f *testing.F) {
+	var seed bytes.Buffer
+	w := NewBinaryWriter(&seed)
+	for _, r := range sampleRecords() {
+		if err := w.Write(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("specftr\x01"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		rd := NewBinaryReader(bytes.NewReader(in))
+		for i := 0; i < 1000; i++ {
+			rec, err := rd.Next()
+			if err != nil {
+				return
+			}
+			if verr := rec.Validate(); verr != nil {
+				t.Fatalf("parser accepted invalid record %+v: %v", rec, verr)
+			}
+		}
+	})
+}
+
+// FuzzOpenFile exercises the sniffing front door (gzip/binary/text).
+func FuzzOpenFile(f *testing.F) {
+	f.Add([]byte{0x1f, 0x8b, 0x00})
+	f.Add([]byte("specftr\x01\x12\x34"))
+	f.Add([]byte("0x0 1 plain\n"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		rd, err := OpenFile(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := rd.Next(); err != nil {
+				if !errors.Is(err, io.EOF) {
+					return
+				}
+				return
+			}
+		}
+	})
+}

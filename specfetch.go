@@ -1,0 +1,230 @@
+// Package specfetch reproduces "Instruction Cache Fetch Policies for
+// Speculative Execution" (Lee, Baer, Calder, Grunwald; ISCA 1995): a
+// trace-driven, cycle-level model of a speculative superscalar fetch unit
+// with five I-cache miss policies (Oracle, Optimistic, Resume, Pessimistic,
+// Decode), a decoupled BTB + gshare-PHT branch architecture, next-line
+// prefetching, and the paper's ISPI penalty accounting.
+//
+// Quick start:
+//
+//	bench, _ := specfetch.BuildBenchmark(specfetch.GCC())
+//	cfg := specfetch.DefaultConfig()
+//	cfg.Policy = specfetch.Resume
+//	res, _ := specfetch.RunBenchmark(bench, cfg, 1_000_000, 1)
+//	fmt.Printf("ISPI %.3f\n", res.TotalISPI())
+//
+// The package is a thin facade over the internal packages; everything
+// needed to run simulations, generate synthetic workloads, read/write trace
+// files, and regenerate the paper's tables and figures is exported here.
+package specfetch
+
+import (
+	"io"
+
+	"specfetch/internal/bpred"
+	"specfetch/internal/cache"
+	"specfetch/internal/classify"
+	"specfetch/internal/core"
+	"specfetch/internal/isa"
+	"specfetch/internal/metrics"
+	"specfetch/internal/program"
+	"specfetch/internal/synth"
+	"specfetch/internal/trace"
+)
+
+// Policy selects how I-cache misses on speculative paths are handled.
+type Policy = core.Policy
+
+// The five fetch policies of the paper's Table 1.
+const (
+	Oracle      = core.Oracle
+	Optimistic  = core.Optimistic
+	Resume      = core.Resume
+	Pessimistic = core.Pessimistic
+	Decode      = core.Decode
+)
+
+// Policies lists all policies in the paper's presentation order.
+func Policies() []Policy { return core.Policies() }
+
+// ParsePolicy parses a policy name ("oracle", "optimistic", ...).
+func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
+
+// Config parameterizes one simulation run (machine widths, latencies,
+// cache geometry, prefetching, instruction budget).
+type Config = core.Config
+
+// DefaultConfig is the paper's baseline machine: 4-wide fetch, depth-4
+// speculation, 8K direct-mapped I-cache with 32-byte lines, 5-cycle miss
+// penalty.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Result reports one run's measurements: cycles, per-component lost issue
+// slots, branch events, traffic, and miss counts.
+type Result = core.Result
+
+// CacheConfig sizes an instruction cache.
+type CacheConfig = cache.Config
+
+// Component labels one cause of lost issue slots (the stacking order of the
+// paper's figures).
+type Component = metrics.Component
+
+// The penalty components of Figures 1-4.
+const (
+	BranchFull   = metrics.BranchFull
+	Branch       = metrics.Branch
+	ForceResolve = metrics.ForceResolve
+	Bus          = metrics.Bus
+	RTICache     = metrics.RTICache
+	WrongICache  = metrics.WrongICache
+)
+
+// Components lists the penalty components in stacking order.
+func Components() []Component { return metrics.Components() }
+
+// Addr is a byte address in the simulated instruction space.
+type Addr = isa.Addr
+
+// Kind classifies an instruction for the branch architecture.
+type Kind = isa.Kind
+
+// Instruction kinds.
+const (
+	Plain        = isa.Plain
+	CondBranch   = isa.CondBranch
+	Jump         = isa.Jump
+	Call         = isa.Call
+	Return       = isa.Return
+	IndirectJump = isa.IndirectJump
+	IndirectCall = isa.IndirectCall
+)
+
+// Image is a static code image; the engine walks it on wrong paths.
+type Image = program.Image
+
+// ImageBuilder accumulates instructions for an Image.
+type ImageBuilder = program.Builder
+
+// Inst is one static instruction.
+type Inst = program.Inst
+
+// NewImageBuilder starts an image at the given base address.
+func NewImageBuilder(base Addr) (*ImageBuilder, error) { return program.NewBuilder(base) }
+
+// TraceRecord is one dynamic basic block of the correct execution path.
+type TraceRecord = trace.Record
+
+// TraceReader yields trace records until io.EOF.
+type TraceReader = trace.Reader
+
+// TraceWriter persists trace records.
+type TraceWriter = trace.Writer
+
+// TraceStats summarizes a trace's dynamic behaviour.
+type TraceStats = trace.Stats
+
+// NewSliceTrace replays an in-memory record slice.
+func NewSliceTrace(recs []TraceRecord) *trace.SliceReader { return trace.NewSliceReader(recs) }
+
+// Predictor is the branch-architecture interface the engine consumes.
+type Predictor = bpred.Predictor
+
+// NewPredictor builds the paper's baseline branch architecture: a 64-entry
+// 4-way BTB plus a 512-entry gshare PHT, decoupled.
+func NewPredictor() Predictor { return bpred.NewDefaultDecoupled() }
+
+// Run simulates one configuration over an explicit image/trace/predictor.
+func Run(cfg Config, img *Image, rd TraceReader, pred Predictor) (Result, error) {
+	return core.Run(cfg, img, rd, pred)
+}
+
+// Profile parameterizes the synthetic workload generator.
+type Profile = synth.Profile
+
+// Bench is a generated synthetic benchmark: static image plus dynamic
+// behaviour, able to produce correct-path traces.
+type Bench = synth.Bench
+
+// The 13 stock benchmark profiles, calibrated against the paper's Table 2/3.
+var (
+	Doduc   = synth.Doduc
+	Fpppp   = synth.Fpppp
+	Su2cor  = synth.Su2cor
+	Ditroff = synth.Ditroff
+	GCC     = synth.GCC
+	Li      = synth.Li
+	Tex     = synth.Tex
+	Cfront  = synth.Cfront
+	DBpp    = synth.DBpp
+	Groff   = synth.Groff
+	IDL     = synth.IDL
+	Lic     = synth.Lic
+	Porky   = synth.Porky
+)
+
+// Profiles returns the stock benchmark profiles in the paper's order.
+func Profiles() []Profile { return synth.Profiles() }
+
+// ProfileByName finds a stock profile by benchmark name.
+func ProfileByName(name string) (Profile, bool) { return synth.ProfileByName(name) }
+
+// BuildBenchmark deterministically generates the benchmark for a profile.
+func BuildBenchmark(p Profile) (*Bench, error) { return synth.Build(p) }
+
+// RunBenchmark simulates cfg over a synthetic benchmark for the given
+// correct-path instruction budget, using a fresh baseline predictor. The
+// stream seed selects the dynamic trace; reusing a seed replays the same
+// trace.
+func RunBenchmark(b *Bench, cfg Config, insts int64, streamSeed uint64) (Result, error) {
+	cfg.MaxInsts = insts
+	return core.Run(cfg, b.Image(), b.NewReader(streamSeed, insts+insts/4), NewPredictor())
+}
+
+// MissCategories is the paper's Table 4 classification of I-cache misses
+// under speculative execution.
+type MissCategories = classify.Categories
+
+// ClassifyMisses runs Oracle and Optimistic over the same benchmark trace
+// and partitions correct-path misses into Both Miss / Spec Pollute /
+// Spec Prefetch / Wrong Path, plus the traffic ratio.
+func ClassifyMisses(b *Bench, cfg Config, insts int64, streamSeed uint64) (MissCategories, error) {
+	cfg.MaxInsts = insts
+	return classify.Run(cfg, b.Image(),
+		func() TraceReader { return b.NewReader(streamSeed, insts+insts/4) },
+		func() Predictor { return NewPredictor() })
+}
+
+// WriteImage serializes a static image in the portable text format.
+func WriteImage(w io.Writer, img *Image) error { return program.WriteImage(w, img) }
+
+// ReadImage parses a static image from the portable text format.
+func ReadImage(r io.Reader) (*Image, error) { return program.ReadImage(r) }
+
+// OpenTrace wraps r with the appropriate trace reader: gzip streams are
+// transparently decompressed, the binary format is detected by its magic
+// header, and anything else parses as the text format.
+func OpenTrace(r io.Reader) (TraceReader, error) { return trace.OpenFile(r) }
+
+// NewBinaryTraceWriter writes the compact binary trace format.
+func NewBinaryTraceWriter(w io.Writer) *trace.BinaryWriter { return trace.NewBinaryWriter(w) }
+
+// NewTextTraceWriter writes the line-oriented text trace format.
+func NewTextTraceWriter(w io.Writer) *trace.TextWriter { return trace.NewTextWriter(w) }
+
+// LoopKernel builds a microbenchmark: a single loop of bodyInsts plain
+// instructions with geometric trip counts. Cache/branch behaviour is
+// analytically known, for controlled policy studies.
+func LoopKernel(bodyInsts int, trips float64) (*Bench, error) {
+	return synth.LoopKernel(bodyInsts, trips)
+}
+
+// CallKernel builds a microbenchmark: a call chain of the given depth,
+// isolating call/return prediction.
+func CallKernel(depth, bodyInsts int) (*Bench, error) { return synth.CallKernel(depth, bodyInsts) }
+
+// DispatchKernel builds a microbenchmark: an interpreter-style indirect
+// dispatch loop over fanout handlers, isolating BTB target misprediction.
+func DispatchKernel(fanout, handlerInsts int) (*Bench, error) {
+	return synth.DispatchKernel(fanout, handlerInsts)
+}
