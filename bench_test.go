@@ -144,6 +144,56 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineNilProbe is BenchmarkEngineThroughput with the probe field
+// explicitly nil — the shipped default. Comparing the two guards the
+// zero-overhead claim of the observability layer: every probe hook is one
+// predictable nil check, so this must stay within noise (<2%) of
+// BenchmarkEngineThroughput on the pre-instrumentation engine.
+func BenchmarkEngineNilProbe(b *testing.B) {
+	bench, err := specfetch.BuildBenchmark(specfetch.GCC())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const insts = 1_000_000
+	cfg := specfetch.DefaultConfig()
+	cfg.Policy = specfetch.Resume
+	cfg.Probe = nil
+	cfg.SampleInterval = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := specfetch.RunBenchmark(bench, cfg, insts, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(res.Insts)
+	}
+}
+
+// BenchmarkEngineRecorderProbe measures the instrumented path: a ring-buffer
+// event recorder plus interval sampler attached, quantifying the cost of
+// full event capture relative to the nil-probe baseline.
+func BenchmarkEngineRecorderProbe(b *testing.B) {
+	bench, err := specfetch.BuildBenchmark(specfetch.GCC())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const insts = 1_000_000
+	cfg := specfetch.DefaultConfig()
+	cfg.Policy = specfetch.Resume
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := specfetch.NewEventRecorder(1 << 16)
+		samp := specfetch.NewIntervalSampler()
+		cfg.Probe = specfetch.MultiProbe(rec, samp)
+		cfg.SampleInterval = 10_000
+		res, err := specfetch.RunBenchmark(bench, cfg, insts, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(res.Insts)
+	}
+}
+
 // BenchmarkPolicies times each policy on the same workload so relative
 // simulation cost is visible.
 func BenchmarkPolicies(b *testing.B) {

@@ -33,7 +33,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "build %s: %v\n", p.Name, err)
 			os.Exit(1)
 		}
-		c, err := experiments.Characterize(b, *insts)
+		c, err := experiments.Characterize(b, experiments.Options{Insts: *insts})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "characterize %s: %v\n", p.Name, err)
 			os.Exit(1)

@@ -1,5 +1,9 @@
 // Command fetchsim runs one fetch-policy simulation and prints the ISPI
-// breakdown, cache behaviour, and memory traffic.
+// breakdown, cache behaviour, and memory traffic. With the observability
+// flags it additionally records the run: -events dumps the probe event
+// stream as JSONL, -timeline renders a Chrome trace-event (Perfetto)
+// timeline, and -series samples an interval time-series of ISPI, miss rate,
+// and bus occupancy.
 //
 // Usage:
 //
@@ -7,6 +11,7 @@
 //	fetchsim -bench groff -policy pessimistic -penalty 20 -prefetch
 //	fetchsim -bench li -policy optimistic -cache 32768 -depth 2
 //	fetchsim -image prog.img -trace prog.trc -policy resume
+//	fetchsim -bench gcc -policy resume -timeline out.json -series ispi.csv
 package main
 
 import (
@@ -31,6 +36,12 @@ func main() {
 		prefetch  = flag.Bool("prefetch", false, "enable next-line prefetching")
 		seed      = flag.Uint64("seed", 1, "dynamic trace stream seed")
 		list      = flag.Bool("list", false, "list benchmark profiles and exit")
+
+		eventsPath   = flag.String("events", "", "write the probe event stream as JSONL to this file")
+		timelinePath = flag.String("timeline", "", "write a Chrome trace-event (Perfetto) timeline to this file")
+		seriesPath   = flag.String("series", "", "write the interval time-series to this file (.json extension selects JSON, anything else CSV)")
+		interval     = flag.Int64("interval", 10_000, "instructions per -series sample")
+		eventCap     = flag.Int("event-cap", 1<<20, "ring-buffer capacity for -events/-timeline; oldest events drop beyond it")
 	)
 	flag.Parse()
 
@@ -54,6 +65,22 @@ func main() {
 	cfg.MaxUnresolved = *depth
 	cfg.FetchWidth = *width
 	cfg.NextLinePrefetch = *prefetch
+
+	// Observability: attach a recorder and/or sampler only when asked for,
+	// so the default run keeps the nil-probe fast path.
+	var rec *specfetch.EventRecorder
+	var samp *specfetch.IntervalSampler
+	var probes []specfetch.Probe
+	if *eventsPath != "" || *timelinePath != "" {
+		rec = specfetch.NewEventRecorder(*eventCap)
+		probes = append(probes, rec)
+	}
+	if *seriesPath != "" {
+		samp = specfetch.NewIntervalSampler()
+		probes = append(probes, samp)
+		cfg.SampleInterval = *interval
+	}
+	cfg.Probe = specfetch.MultiProbe(probes...)
 
 	var res specfetch.Result
 	benchLabel := ""
@@ -99,6 +126,58 @@ func main() {
 		res.Traffic.Total(), res.Traffic.DemandFills, res.Traffic.WrongPathFills, res.Traffic.PrefetchFills)
 	fmt.Printf("branch events          %d mispredicts, %d misfetches, %d BTB target mispredicts\n",
 		res.Events.PHTMispredicts, res.Events.BTBMisfetches, res.Events.BTBMispredicts)
+
+	if err := writeArtifacts(rec, samp, *eventsPath, *timelinePath, *seriesPath); err != nil {
+		fmt.Fprintf(os.Stderr, "fetchsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeArtifacts dumps the requested observability outputs.
+func writeArtifacts(rec *specfetch.EventRecorder, samp *specfetch.IntervalSampler,
+	eventsPath, timelinePath, seriesPath string) error {
+	writeTo := func(path string, fn func(f *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if rec != nil && rec.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "fetchsim: event ring overflowed: kept last %d of %d events (raise -event-cap)\n",
+			rec.Cap(), rec.Total())
+	}
+	if eventsPath != "" {
+		if err := writeTo(eventsPath, func(f *os.File) error { return rec.WriteJSONL(f) }); err != nil {
+			return err
+		}
+		fmt.Printf("events                 %s (%d events)\n", eventsPath, len(rec.Events()))
+	}
+	if timelinePath != "" {
+		if err := writeTo(timelinePath, func(f *os.File) error {
+			return specfetch.WriteChromeTrace(f, rec.Events())
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("timeline               %s (open in https://ui.perfetto.dev)\n", timelinePath)
+	}
+	if seriesPath != "" {
+		asJSON := len(seriesPath) > 5 && seriesPath[len(seriesPath)-5:] == ".json"
+		if err := writeTo(seriesPath, func(f *os.File) error {
+			if asJSON {
+				return samp.WriteJSON(f)
+			}
+			return samp.WriteCSV(f)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("series                 %s (%d samples)\n", seriesPath, len(samp.Points()))
+	}
+	return nil
 }
 
 // runFromFiles replays a trace file against a serialized image.

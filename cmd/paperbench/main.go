@@ -1,22 +1,32 @@
 // Command paperbench regenerates every table and figure of the paper's
 // evaluation section over the synthetic benchmark suite.
 //
+// Long campaigns are observable: per-simulation progress goes to stderr
+// (silence it with -quiet), -metrics-addr serves a Prometheus /metrics
+// endpoint with campaign counters, and SIGINT reports how far the run got
+// before exiting — tables already completed have been printed.
+//
 // Usage:
 //
 //	paperbench -all [-insts N]
 //	paperbench -table 5
 //	paperbench -figure 3 -bench gcc,groff
 //	paperbench -table 4 -csv
+//	paperbench -all -metrics-addr :9090
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
 
 	"specfetch/internal/experiments"
+	"specfetch/internal/obs"
 	"specfetch/internal/texttable"
 )
 
@@ -32,18 +42,61 @@ func main() {
 		insts    = flag.Int64("insts", 2_000_000, "instructions to simulate per benchmark")
 		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 13)")
 		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		quiet    = flag.Bool("quiet", false, "suppress per-simulation progress on stderr")
+		metrics  = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics (e.g. :9090)")
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Insts: *insts}
+	reg := obs.NewRegistry()
+	var stage atomic.Value
+	stage.Store("startup")
+
+	opt := experiments.Options{Insts: *insts, Metrics: reg}
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
+	}
+	if !*quiet {
+		opt.Progress = func(msg string) { fmt.Fprintf(os.Stderr, "paperbench: %s\n", msg) }
 	}
 
 	if !*all && *table == 0 && *figure == 0 && *ablation == "" && *seeds == 0 && !*sweep && !*modern {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: metrics server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "paperbench: serving metrics on %s/metrics\n", ln.Addr())
+	}
+
+	// SIGINT: completed tables are already on stdout; report how far the
+	// campaign got and exit 130. A second SIGINT aborts immediately.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		go func() {
+			<-sigc
+			os.Exit(130)
+		}()
+		sims := reg.Counter("specfetch_simulations_total", "Completed simulation runs.").Value()
+		si := reg.Counter("specfetch_simulated_insts_total", "Correct-path instructions simulated.").Value()
+		fmt.Fprintf(os.Stderr,
+			"\npaperbench: interrupted during %s: %d simulations done, %d instructions simulated; completed output above is valid\n",
+			stage.Load(), sims, si)
+		os.Exit(130)
+	}()
 
 	run := func(err error) {
 		if err != nil {
@@ -78,19 +131,24 @@ func main() {
 
 	switch {
 	case *modern:
+		stage.Store("modern study")
 		tab, err := experiments.ModernStudy(opt)
 		emitTable(tab, err)
 	case *sweep:
+		stage.Store("latency sweep")
 		tab, err := experiments.LatencySweep(opt, nil)
 		emitTable(tab, err)
 	case *seeds > 0:
+		stage.Store(fmt.Sprintf("seed sensitivity (%d seeds)", *seeds))
 		tab, err := experiments.SeedSensitivity(opt, *seeds)
 		emitTable(tab, err)
 	case *all:
 		for n := 2; n <= 7; n++ {
+			stage.Store(fmt.Sprintf("table %d", n))
 			emitTable(tables[n](opt))
 		}
 		for n := 1; n <= 4; n++ {
+			stage.Store(fmt.Sprintf("figure %d", n))
 			emitFigure(figures[n](opt))
 		}
 	case *ablation != "":
@@ -98,19 +156,21 @@ func main() {
 		if !ok {
 			run(fmt.Errorf("no ablation %q", *ablation))
 		}
+		stage.Store("ablation " + *ablation)
 		emitTable(fn(opt))
 	case *table != 0:
 		fn, ok := tables[*table]
 		if !ok {
 			run(fmt.Errorf("no table %d (paper has tables 2-7)", *table))
 		}
+		stage.Store(fmt.Sprintf("table %d", *table))
 		emitTable(fn(opt))
 	case *figure != 0:
 		fn, ok := figures[*figure]
 		if !ok {
 			run(fmt.Errorf("no figure %d (paper has figures 1-4)", *figure))
 		}
+		stage.Store(fmt.Sprintf("figure %d", *figure))
 		emitFigure(fn(opt))
 	}
-	_ = io.Discard
 }

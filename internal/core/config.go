@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"specfetch/internal/cache"
+	"specfetch/internal/obs"
 )
 
 // Config parameterizes one simulation run. The zero value is not valid; use
@@ -103,6 +104,21 @@ type Config struct {
 	// number, the line, and whether it missed. The classify package uses it
 	// to build the paper's Table 4 miss categorization.
 	OnRightPathAccess func(seq int64, line uint64, miss bool)
+
+	// Probe, when non-nil, receives typed instrumentation callbacks as the
+	// simulation runs (see internal/obs): fetch cycles, misses, fills, bus
+	// occupancy, branch resolves, redirect windows, and stall attribution.
+	// Probes observe but never alter simulated behaviour. Nil disables all
+	// instrumentation; every engine call site is guarded by a single nil
+	// check, so the disabled path costs one predictable branch per hook.
+	Probe obs.Probe
+
+	// SampleInterval, when positive and Probe implements obs.Sampler,
+	// delivers a cumulative-counters snapshot to the probe every
+	// SampleInterval correct-path instructions and once more at run end
+	// (so cumulative series values close exactly on the final Result).
+	// 0 disables sampling.
+	SampleInterval int64
 }
 
 // DefaultConfig returns the paper's baseline machine: 4-wide fetch, depth-4
@@ -145,6 +161,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative MSHR count %d", c.MSHRs)
 	case c.FlushInterval < 0:
 		return fmt.Errorf("core: negative flush interval %d", c.FlushInterval)
+	case c.SampleInterval < 0:
+		return fmt.Errorf("core: negative sample interval %d", c.SampleInterval)
 	}
 	if c.L2 != nil {
 		if err := c.L2.Validate(); err != nil {

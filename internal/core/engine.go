@@ -9,6 +9,7 @@ import (
 	"specfetch/internal/cache"
 	"specfetch/internal/isa"
 	"specfetch/internal/metrics"
+	"specfetch/internal/obs"
 	"specfetch/internal/program"
 	"specfetch/internal/trace"
 )
@@ -70,6 +71,14 @@ type Engine struct {
 	// nextFlushAt is the instruction count of the next context-switch
 	// flush (FlushInterval extension).
 	nextFlushAt int64
+
+	// probe receives instrumentation callbacks; nil disables them, and
+	// every call site is guarded so the nil path costs one branch.
+	probe obs.Probe
+	// sampler, when non-nil, receives a counters snapshot every
+	// nextSample instructions (and once at run end).
+	sampler    obs.Sampler
+	nextSample int64
 
 	res Result
 	err error
@@ -137,6 +146,13 @@ func NewEngine(cfg Config, img *program.Image, rd trace.Reader, pred bpred.Predi
 	}
 	e.resumeBufs = make([]cache.LineBuffer, nbuf)
 	e.prefBufs = make([]cache.LineBuffer, nbuf)
+	if cfg.Probe != nil {
+		e.probe = cfg.Probe
+		if s, ok := cfg.Probe.(obs.Sampler); ok && cfg.SampleInterval > 0 {
+			e.sampler = s
+			e.nextSample = cfg.SampleInterval
+		}
+	}
 	return e, nil
 }
 
@@ -155,15 +171,38 @@ func (e *Engine) Run() (Result, error) {
 	e.loadRecord()
 	for !e.done() {
 		e.applyUpdates(e.cy)
-		e.stepCycle()
+		if e.probe == nil {
+			e.stepCycle()
+		} else {
+			cy, insts0 := e.cy, e.res.Insts
+			e.stepCycle()
+			e.probe.FetchCycle(cy, int(e.res.Insts-insts0))
+		}
 		if e.err != nil {
 			return e.res, e.err
 		}
 	}
 	e.res.Cycles = e.cy
+	if e.sampler != nil {
+		// Close the series on the exact final counters so cumulative
+		// values match the returned Result.
+		e.emitSample(e.res.Cycles)
+	}
 	// A trace error on the very first (or a boundary) record ends the loop
 	// without passing through stepCycle's error check.
 	return e.res, e.err
+}
+
+// emitSample delivers a cumulative-counters snapshot to the sampler.
+func (e *Engine) emitSample(cy int64) {
+	e.sampler.Sample(obs.Snapshot{
+		Cycle:             cy,
+		Insts:             e.res.Insts,
+		Lost:              e.res.Lost,
+		RightPathAccesses: e.res.RightPathAccesses,
+		RightPathMisses:   e.res.RightPathMisses,
+		BusTransfers:      e.bus.Transfers,
+	})
 }
 
 func (e *Engine) done() bool {
@@ -270,17 +309,28 @@ func (e *Engine) fillLatency(line uint64) int {
 // busStartLine begins the transfer of line no earlier than `at` and
 // returns its completion cycle, honouring the L2 hierarchy and the
 // pipelined-memory extension. haveLine=false skips the L2 consultation
-// (full memory latency).
-func (e *Engine) busStartLine(at int64, line uint64, haveLine bool) int64 {
+// (full memory latency). kind labels the transfer for the probe.
+func (e *Engine) busStartLine(at int64, line uint64, haveLine bool, kind obs.FillKind) int64 {
 	lat := e.cfg.MissPenalty
 	if haveLine {
 		lat = e.fillLatency(line)
 	}
+	var start, done int64
 	if e.cfg.PipelinedMemory {
 		e.bus.Transfers++
-		return at + int64(lat)
+		start, done = at, at+int64(lat)
+	} else {
+		start = at
+		if f := e.bus.FreeAt(); f > start {
+			start = f
+		}
+		done = e.bus.Start(at, lat)
 	}
-	return e.bus.Start(at, lat)
+	if e.probe != nil {
+		e.probe.BusAcquire(start, line, kind)
+		e.probe.BusRelease(done)
+	}
+	return done
 }
 
 // busFreeAt returns when a new transfer may start.
@@ -344,7 +394,42 @@ func (e *Engine) chargeStall(slotsIssued int, phases []chargePhase, resumeAt int
 		}
 		e.res.Lost.Add(comp, lost)
 	}
+	if e.probe != nil {
+		e.emitStallSegments(slotsIssued, phases, resumeAt)
+	}
 	e.cy = resumeAt
+}
+
+// emitStallSegments replays a stall's attribution as contiguous
+// per-component probe segments (called only when a probe is attached).
+func (e *Engine) emitStallSegments(slotsIssued int, phases []chargePhase, resumeAt int64) {
+	w := int64(e.cfg.FetchWidth)
+	segStart := e.cy
+	var segComp metrics.Component
+	var segSlots int64
+	haveSeg := false
+	for c := e.cy; c < resumeAt; c++ {
+		lost := w
+		if c == e.cy {
+			lost = w - int64(slotsIssued)
+		}
+		comp := phases[len(phases)-1].comp
+		for _, p := range phases {
+			if c < p.until {
+				comp = p.comp
+				break
+			}
+		}
+		if haveSeg && comp != segComp {
+			e.probe.Stall(segStart, c, segComp, segSlots)
+			segStart, segSlots = c, 0
+		}
+		segComp, haveSeg = comp, true
+		segSlots += lost
+	}
+	if haveSeg {
+		e.probe.Stall(segStart, resumeAt, segComp, segSlots)
+	}
 }
 
 // lookupKind distinguishes what satisfied (or will satisfy) a line access.
@@ -507,6 +592,10 @@ func (e *Engine) stepCycle() {
 		// Issue the instruction.
 		e.res.Insts++
 		e.lastIssueCy = e.cy
+		if e.sampler != nil && e.res.Insts >= e.nextSample {
+			e.emitSample(e.cy)
+			e.nextSample += e.cfg.SampleInterval
+		}
 		e.consumeInst()
 
 		if in.kind.IsBranch() {
@@ -575,9 +664,13 @@ func (e *Engine) tryPrefetch(now int64) {
 			}
 			continue
 		}
-		done := e.busStartLine(now, cand, true)
+		done := e.busStartLine(now, cand, true, obs.FillPrefetch)
 		buf.Set(cand, done)
 		e.res.Traffic.PrefetchFills++
+		if e.probe != nil {
+			e.probe.Prefetch(now, cand, done)
+			e.probe.FillComplete(done, cand, obs.FillPrefetch)
+		}
 		if i == streamIdx {
 			e.streamNext++
 			e.streamLeft--
@@ -590,6 +683,9 @@ func (e *Engine) tryPrefetch(now int64) {
 // current cycle, after slotsIssued instructions already issued this cycle.
 func (e *Engine) handleRightPathMiss(line uint64, slotsIssued int) {
 	now := e.cy
+	if e.probe != nil {
+		e.probe.MissStart(now, line, false)
+	}
 
 	// Policy gating before the fill may start.
 	gate := now
@@ -611,7 +707,10 @@ func (e *Engine) handleRightPathMiss(line uint64, slotsIssued int) {
 	if f := e.busFreeAt(); f > fillStart {
 		fillStart = f
 	}
-	fillDone := e.busStartLine(fillStart, line, true)
+	fillDone := e.busStartLine(fillStart, line, true, obs.FillDemand)
+	if e.probe != nil {
+		e.probe.FillComplete(fillDone, line, obs.FillDemand)
+	}
 
 	// The stream-prefetch extension re-arms on every right-path demand
 	// fill, like a stream buffer allocated on a miss.
@@ -641,6 +740,18 @@ const (
 	evBTBMispredict
 )
 
+// redirectKind maps the Table 3 event class onto the probe vocabulary.
+func (ev eventClass) redirectKind() obs.RedirectKind {
+	switch ev {
+	case evPHTMispredict:
+		return obs.RedirectPHTMispredict
+	case evBTBMisfetch:
+		return obs.RedirectBTBMisfetch
+	default:
+		return obs.RedirectBTBMispredict
+	}
+}
+
 // handleBranch processes a just-issued correct-path branch. slotsIssued is
 // the number of instructions issued this cycle including the branch. It
 // returns true when a redirect window consumed the rest of the cycle.
@@ -659,6 +770,9 @@ func (e *Engine) handleBranch(in instInfo, slotsIssued int) bool {
 		e.resolveQ = append(e.resolveQ, resolveUpdate{at: resolveAt, pc: in.pc, taken: in.taken})
 		predTaken := e.pred.PredictCond(in.pc)
 		staticTarget := e.img.At(in.pc).Target
+		if e.probe != nil {
+			e.probe.BranchResolve(resolveAt, uint64(in.pc), in.taken, predTaken != in.taken)
+		}
 		if e.cfg.TargetPrefetch {
 			e.armTargetPrefetch(staticTarget)
 		}
@@ -723,6 +837,9 @@ func (e *Engine) handleBranch(in instInfo, slotsIssued int) bool {
 					predTarget = ret
 				}
 			}
+		}
+		if e.probe != nil {
+			e.probe.BranchResolve(resolveAt, uint64(in.pc), true, !(btbHit && predTarget == in.target))
 		}
 		switch {
 		case btbHit && predTarget == in.target:

@@ -5,6 +5,7 @@ import (
 
 	"specfetch/internal/isa"
 	"specfetch/internal/metrics"
+	"specfetch/internal/obs"
 	"specfetch/internal/program"
 )
 
@@ -39,6 +40,10 @@ type wpState struct {
 func (e *Engine) runWindow(slotsIssued int, ev eventClass, phases []wpPhase, resumePC isa.Addr) {
 	width := int64(e.cfg.FetchWidth)
 	windowEnd := phases[len(phases)-1].until
+
+	if e.probe != nil {
+		e.probe.WindowStart(e.cy, ev.redirectKind(), windowEnd)
+	}
 
 	branchSlots := width - int64(slotsIssued)
 	e.res.Lost.Add(metrics.Branch, branchSlots)
@@ -88,6 +93,9 @@ func (e *Engine) runWindow(slotsIssued int, ev eventClass, phases []wpPhase, res
 		// when the machine learns the correct path: Optimistic (and Decode
 		// after its gate) pay here.
 		e.res.Lost.Add(metrics.WrongICache, width*(st.blockUntil-resumeAt))
+		if e.probe != nil {
+			e.probe.Stall(resumeAt, st.blockUntil, metrics.WrongICache, width*(st.blockUntil-resumeAt))
+		}
 		resumeAt = st.blockUntil
 	}
 	e.wrongConds = 0
@@ -105,6 +113,10 @@ func (e *Engine) runWindow(slotsIssued int, ev eventClass, phases []wpPhase, res
 	}
 
 	e.cy = resumeAt
+	if e.probe != nil {
+		e.probe.Redirect(windowEnd, ev.redirectKind(), uint64(resumePC))
+		e.probe.WindowEnd(resumeAt)
+	}
 
 	// Consistency check: the trace must continue exactly where the redirect
 	// says the correct path resumes.
@@ -243,6 +255,9 @@ func (e *Engine) wrongPathNext(pc isa.Addr, in program.Inst, wc int64, st *wpSta
 // handleWrongPathMiss applies the configured policy to an I-cache miss on
 // the wrong path at cycle wc.
 func (e *Engine) handleWrongPathMiss(line uint64, wc int64, misfetchPhase bool, st *wpState) {
+	if e.probe != nil {
+		e.probe.MissStart(wc, line, true)
+	}
 	switch e.cfg.Policy {
 	case Oracle, Pessimistic:
 		// Never serviced: Oracle knows the path is wrong; Pessimistic's
@@ -262,17 +277,23 @@ func (e *Engine) handleWrongPathMiss(line uint64, wc int64, misfetchPhase bool, 
 		if gate < wc {
 			gate = wc
 		}
-		done := e.busStartLine(gate, line, true)
+		done := e.busStartLine(gate, line, true, obs.FillWrongPath)
 		e.commitCompletedBuffers(wc)
 		e.ic.Fill(line)
 		e.res.Traffic.WrongPathFills++
+		if e.probe != nil {
+			e.probe.FillComplete(done, line, obs.FillWrongPath)
+		}
 		st.blockUntil = done
 
 	case Optimistic:
-		done := e.busStartLine(wc, line, true)
+		done := e.busStartLine(wc, line, true, obs.FillWrongPath)
 		e.commitCompletedBuffers(wc)
 		e.ic.Fill(line)
 		e.res.Traffic.WrongPathFills++
+		if e.probe != nil {
+			e.probe.FillComplete(done, line, obs.FillWrongPath)
+		}
 		st.blockUntil = done
 
 	case Resume:
@@ -283,9 +304,12 @@ func (e *Engine) handleWrongPathMiss(line uint64, wc int64, misfetchPhase bool, 
 			st.stalled = true
 			return
 		}
-		done := e.busStartLine(wc, line, true)
+		done := e.busStartLine(wc, line, true, obs.FillWrongPath)
 		buf.Set(line, done)
 		e.res.Traffic.WrongPathFills++
+		if e.probe != nil {
+			e.probe.FillComplete(done, line, obs.FillWrongPath)
+		}
 		// The wrong path itself still waits (the line is not there), but
 		// the correct path is free to resume at the redirect.
 		st.fillWaitUntil = done

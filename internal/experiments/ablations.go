@@ -53,7 +53,7 @@ func AblationPrefetch(opt Options) (*texttable.Table, error) {
 		for i, s := range schemes {
 			cfg := baseConfig(core.Resume)
 			s.Apply(&cfg)
-			res, err := runBench(b, cfg, opt.Insts)
+			res, err := runBench(b, cfg, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -128,7 +128,7 @@ func AblationAssociativity(opt Options) (*texttable.Table, error) {
 		for _, assoc := range []int{1, 2, 4} {
 			cfg := baseConfig(core.Resume)
 			cfg.ICache.Assoc = assoc
-			res, err := runBench(b, cfg, opt.Insts)
+			res, err := runBench(b, cfg, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -152,7 +152,7 @@ func AblationFetchWidth(opt Options) (*texttable.Table, error) {
 		for _, w := range []int{2, 4, 8} {
 			cfg := baseConfig(core.Resume)
 			cfg.FetchWidth = w
-			res, err := runBench(b, cfg, opt.Insts)
+			res, err := runBench(b, cfg, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -181,7 +181,7 @@ func AblationPipelinedMemory(opt Options) (*texttable.Table, error) {
 				cfg.MissPenalty = 20
 				cfg.NextLinePrefetch = true
 				cfg.PipelinedMemory = pipe
-				res, err := runBench(b, cfg, opt.Insts)
+				res, err := runBench(b, cfg, opt)
 				if err != nil {
 					return nil, err
 				}
@@ -207,7 +207,7 @@ func AblationRAS(opt Options) (*texttable.Table, error) {
 		for _, depth := range []int{0, 8, 32} {
 			cfg := baseConfig(core.Oracle)
 			cfg.RASDepth = depth
-			res, err := runBench(b, cfg, opt.Insts)
+			res, err := runBench(b, cfg, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -236,7 +236,7 @@ func AblationVictimCache(opt Options) (*texttable.Table, error) {
 		for _, lines := range []int{0, 4, 16} {
 			cfg := baseConfig(core.Resume)
 			cfg.ICache.VictimLines = lines
-			res, err := runBench(b, cfg, opt.Insts)
+			res, err := runBench(b, cfg, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -267,7 +267,7 @@ func AblationMSHR(opt Options) (*texttable.Table, error) {
 			cfg.NextLinePrefetch = true
 			cfg.MSHRs = v.mshrs
 			cfg.PipelinedMemory = v.pipe
-			res, err := runBench(b, cfg, opt.Insts)
+			res, err := runBench(b, cfg, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -336,7 +336,7 @@ func AblationL2(opt Options) (*texttable.Table, error) {
 					cfg.L2 = &l2c
 					cfg.L2Latency = 5
 				}
-				res, err := runBench(b, cfg, opt.Insts)
+				res, err := runBench(b, cfg, opt)
 				if err != nil {
 					return nil, err
 				}
@@ -371,7 +371,7 @@ func AblationContextSwitch(opt Options) (*texttable.Table, error) {
 			for _, pol := range []core.Policy{core.Resume, core.Pessimistic} {
 				cfg := baseConfig(pol)
 				cfg.FlushInterval = iv
-				res, err := runBench(b, cfg, opt.Insts)
+				res, err := runBench(b, cfg, opt)
 				if err != nil {
 					return nil, err
 				}

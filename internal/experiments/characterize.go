@@ -27,11 +27,16 @@ func baseConfig(pol core.Policy) core.Config {
 }
 
 // runBench runs one simulation over a synthetic benchmark with a fresh
-// predictor and the given instruction budget.
-func runBench(b *synth.Bench, cfg core.Config, insts int64) (core.Result, error) {
-	cfg.MaxInsts = insts
-	rd := trace.NewLimitReader(b.NewWalker(defaultStreamSeed), insts+insts/4)
-	return core.Run(cfg, b.Image(), rd, bpred.NewDefaultDecoupled())
+// predictor and the options' instruction budget, reporting the finished run
+// to the options' progress/metrics sinks.
+func runBench(b *synth.Bench, cfg core.Config, opt Options) (core.Result, error) {
+	cfg.MaxInsts = opt.Insts
+	rd := trace.NewLimitReader(b.NewWalker(defaultStreamSeed), opt.Insts+opt.Insts/4)
+	res, err := core.Run(cfg, b.Image(), rd, bpred.NewDefaultDecoupled())
+	if err == nil {
+		opt.observe(b.Profile().Name, cfg.Policy, res)
+	}
+	return res, err
 }
 
 // defaultStreamSeed keeps all experiments on the same dynamic stream per
@@ -58,15 +63,15 @@ type Characterization struct {
 	StaticInsts int
 }
 
-// Characterize measures a benchmark over the given instruction budget.
-func Characterize(b *synth.Bench, insts int64) (Characterization, error) {
+// Characterize measures a benchmark over the options' instruction budget.
+func Characterize(b *synth.Bench, opt Options) (Characterization, error) {
 	c := Characterization{
 		Name:        b.Profile().Name,
 		Lang:        b.Profile().Lang,
 		StaticInsts: b.Image().NumInsts(),
 	}
 
-	st, err := trace.Scan(trace.NewLimitReader(b.NewWalker(defaultStreamSeed), insts))
+	st, err := trace.Scan(trace.NewLimitReader(b.NewWalker(defaultStreamSeed), opt.Insts))
 	if err != nil {
 		return c, fmt.Errorf("scanning %s: %w", c.Name, err)
 	}
@@ -76,7 +81,7 @@ func Characterize(b *synth.Bench, insts int64) (Characterization, error) {
 	}
 
 	cfg8 := baseConfig(core.Oracle)
-	res8, err := runBench(b, cfg8, insts)
+	res8, err := runBench(b, cfg8, opt)
 	if err != nil {
 		return c, err
 	}
@@ -87,7 +92,7 @@ func Characterize(b *synth.Bench, insts int64) (Characterization, error) {
 
 	cfg32 := baseConfig(core.Oracle)
 	cfg32.ICache = cacheConfig(32 * 1024)
-	res32, err := runBench(b, cfg32, insts)
+	res32, err := runBench(b, cfg32, opt)
 	if err != nil {
 		return c, err
 	}
@@ -95,7 +100,7 @@ func Characterize(b *synth.Bench, insts int64) (Characterization, error) {
 
 	cfgB1 := baseConfig(core.Oracle)
 	cfgB1.MaxUnresolved = 1
-	resB1, err := runBench(b, cfgB1, insts)
+	resB1, err := runBench(b, cfgB1, opt)
 	if err != nil {
 		return c, err
 	}

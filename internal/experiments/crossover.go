@@ -42,7 +42,7 @@ func LatencySweepData(opt Options, penalties []int) ([]LatencySweepRow, error) {
 		for _, pen := range penalties {
 			cfg := baseConfig(core.Oracle)
 			cfg.MissPenalty = pen
-			res, err := runPolicies(b, cfg, opt.Insts, core.Policies())
+			res, err := runPolicies(b, cfg, opt, core.Policies())
 			if err != nil {
 				return nil, err
 			}

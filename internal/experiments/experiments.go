@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"specfetch/internal/core"
+	"specfetch/internal/obs"
 	"specfetch/internal/synth"
 )
 
@@ -17,6 +18,28 @@ type Options struct {
 	Insts int64
 	// Benchmarks restricts the run to these profile names (nil = all 13).
 	Benchmarks []string
+	// Progress, if non-nil, receives a one-line message after each completed
+	// simulation. Runs execute on worker goroutines, so it may be called
+	// concurrently.
+	Progress func(msg string)
+	// Metrics, if non-nil, accumulates campaign counters
+	// (specfetch_simulations_total, specfetch_simulated_insts_total).
+	Metrics *obs.Registry
+}
+
+// observe reports one finished simulation to the optional progress and
+// metrics sinks.
+func (opt Options) observe(bench string, pol core.Policy, res core.Result) {
+	if opt.Metrics != nil {
+		opt.Metrics.Counter("specfetch_simulations_total",
+			"Completed simulation runs.").Inc()
+		opt.Metrics.Counter("specfetch_simulated_insts_total",
+			"Correct-path instructions simulated.").Add(res.Insts)
+	}
+	if opt.Progress != nil {
+		opt.Progress(fmt.Sprintf("%s/%s: %d insts, %d cycles, ISPI %.3f",
+			bench, pol, res.Insts, res.Cycles, res.TotalISPI()))
+	}
 }
 
 // DefaultOptions runs all benchmarks at a budget that gives stable numbers
@@ -79,12 +102,12 @@ func buildAll(opt Options) ([]*synth.Bench, error) {
 
 // runPolicies simulates every listed policy over the benchmark under cfg
 // (fresh cache and predictor per run, same trace stream).
-func runPolicies(b *synth.Bench, cfg core.Config, insts int64, policies []core.Policy) (map[core.Policy]core.Result, error) {
+func runPolicies(b *synth.Bench, cfg core.Config, opt Options, policies []core.Policy) (map[core.Policy]core.Result, error) {
 	results := make([]core.Result, len(policies))
 	err := parallelFor(len(policies), func(i int) error {
 		c := cfg
 		c.Policy = policies[i]
-		res, err := runBench(b, c, insts)
+		res, err := runBench(b, c, opt)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", b.Profile().Name, policies[i], err)
 		}

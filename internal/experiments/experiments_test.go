@@ -236,7 +236,7 @@ func TestCharacterize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Characterize(b, 100_000)
+	c, err := Characterize(b, Options{Insts: 100_000})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -49,7 +49,7 @@ func FigureData(opt Options, missPenalty int, policies []core.Policy, prefetch [
 		cfg := baseConfig(j.pol)
 		cfg.MissPenalty = missPenalty
 		cfg.NextLinePrefetch = j.pref
-		res, err := runBench(benches[j.bench], cfg, opt.Insts)
+		res, err := runBench(benches[j.bench], cfg, opt)
 		if err != nil {
 			return err
 		}

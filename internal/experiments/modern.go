@@ -52,6 +52,7 @@ func ModernStudy(opt Options) (*texttable.Table, error) {
 					if err != nil {
 						return fmt.Errorf("%s: %w", b.Profile().Name, err)
 					}
+					opt.observe(b.Profile().Name, c.Policy, res)
 					results[i] = res
 					return nil
 				}); err != nil {

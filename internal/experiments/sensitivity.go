@@ -69,6 +69,7 @@ func SeedSensitivityData(opt Options, seeds int) ([]SeedSensitivityRow, error) {
 				if err != nil {
 					return nil, fmt.Errorf("%s/%s seed %d: %w", b.Profile().Name, pol, s, err)
 				}
+				opt.observe(b.Profile().Name, pol, res)
 				samples = append(samples, res.TotalISPI())
 			}
 			row.Stats[pol] = describe(samples)

@@ -47,7 +47,7 @@ func Table3Data(opt Options) ([]Table3Row, error) {
 	}
 	rows := make([]Table3Row, 0, len(benches))
 	for _, b := range benches {
-		c, err := Characterize(b, opt.Insts)
+		c, err := Characterize(b, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +156,7 @@ func Table5Data(opt Options) ([]Table5Row, error) {
 		for _, depth := range Table5Depths {
 			cfg := baseConfig(core.Oracle)
 			cfg.MaxUnresolved = depth
-			res, err := runPolicies(b, cfg, opt.Insts, core.Policies())
+			res, err := runPolicies(b, cfg, opt, core.Policies())
 			if err != nil {
 				return nil, err
 			}
@@ -223,7 +223,7 @@ func Table6Data(opt Options) ([]Table6Row, error) {
 	for _, b := range benches {
 		cfg := baseConfig(core.Oracle)
 		cfg.ICache = cacheConfig(32 * 1024)
-		res, err := runPolicies(b, cfg, opt.Insts, core.Policies())
+		res, err := runPolicies(b, cfg, opt, core.Policies())
 		if err != nil {
 			return nil, err
 		}
@@ -285,7 +285,7 @@ func Table7Data(opt Options) ([]Table7Row, error) {
 	rows := make([]Table7Row, 0, len(benches))
 	for _, b := range benches {
 		baseCfg := baseConfig(core.Oracle)
-		baseRes, err := runBench(b, baseCfg, opt.Insts)
+		baseRes, err := runBench(b, baseCfg, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -294,7 +294,7 @@ func Table7Data(opt Options) ([]Table7Row, error) {
 		for _, pol := range Table7Policies {
 			cfg := baseConfig(pol)
 			cfg.NextLinePrefetch = true
-			res, err := runBench(b, cfg, opt.Insts)
+			res, err := runBench(b, cfg, opt)
 			if err != nil {
 				return nil, err
 			}

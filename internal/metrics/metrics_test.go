@@ -1,6 +1,9 @@
 package metrics
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestComponentNames(t *testing.T) {
 	want := map[Component]string{
@@ -16,11 +19,66 @@ func TestComponentNames(t *testing.T) {
 			t.Errorf("%d.String() = %q, want %q", c, c.String(), name)
 		}
 	}
-	if Component(99).String() == "" {
-		t.Error("out-of-range component has empty name")
+	if got, want := Component(99).String(), "component(99)"; got != want {
+		t.Errorf("out-of-range String() = %q, want %q", got, want)
+	}
+	if got, want := Component(-1).String(), "component(-1)"; got != want {
+		t.Errorf("negative String() = %q, want %q", got, want)
+	}
+	if got, want := Component(NumComponents).String(), "component(6)"; got != want {
+		t.Errorf("NumComponents.String() = %q, want %q", got, want)
 	}
 	if len(Components()) != int(NumComponents) {
 		t.Errorf("Components() length %d", len(Components()))
+	}
+	// Components() must enumerate 0..NumComponents-1 in stacking order.
+	for i, c := range Components() {
+		if c != Component(i) {
+			t.Errorf("Components()[%d] = %v", i, c)
+		}
+	}
+}
+
+// TestBreakdownAllComponents accumulates across every component and checks
+// totals, per-component ISPI, and AddAll merge for the full breakdown.
+func TestBreakdownAllComponents(t *testing.T) {
+	var b Breakdown
+	var want int64
+	for i, c := range Components() {
+		slots := int64((i + 1) * 10)
+		b.Add(c, slots)
+		b.Add(c, 0) // zero-slot add is a no-op
+		want += slots
+	}
+	if b.Total() != want {
+		t.Errorf("Total = %d, want %d", b.Total(), want)
+	}
+	const insts = 1000
+	var sum float64
+	for i, c := range Components() {
+		slots := int64((i + 1) * 10)
+		if got := b.ISPI(c, insts); got != float64(slots)/insts {
+			t.Errorf("%s ISPI = %v, want %v", c, got, float64(slots)/insts)
+		}
+		sum += b.ISPI(c, insts)
+	}
+	// TotalISPI divides once; the per-component sum can differ by an ulp.
+	if got := b.TotalISPI(insts); math.Abs(got-sum) > 1e-12 {
+		t.Errorf("TotalISPI = %v, want component sum %v", got, sum)
+	}
+
+	var o Breakdown
+	for _, c := range Components() {
+		o.Add(c, 1)
+	}
+	b.AddAll(o)
+	if b.Total() != want+int64(NumComponents) {
+		t.Errorf("AddAll total = %d, want %d", b.Total(), want+int64(NumComponents))
+	}
+	for i, c := range Components() {
+		if got := b[c]; got != int64((i+1)*10)+1 {
+			t.Errorf("after AddAll %s = %d, want %d", c, got, (i+1)*10+1)
+		}
 	}
 }
 

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"specfetch/internal/metrics"
+)
+
+// SeriesPoint is one interval sample of a run's time series. Rate fields
+// describe the interval since the previous sample; CumISPI is cumulative
+// since run start, so the last point's CumISPI equals the run's final
+// Result.TotalISPI exactly.
+type SeriesPoint struct {
+	// Insts / Cycle locate the sample (cumulative instruction count and
+	// cycle at the sample point).
+	Insts int64 `json:"insts"`
+	Cycle int64 `json:"cycle"`
+	// IPC is useful instructions per cycle over the interval.
+	IPC float64 `json:"ipc"`
+	// ISPI is total issue slots lost per instruction over the interval.
+	ISPI float64 `json:"ispi"`
+	// CumISPI is total ISPI from run start through this sample.
+	CumISPI float64 `json:"cum_ispi"`
+	// CompISPI is the interval ISPI per penalty component, indexed in the
+	// paper's stacking order (metrics.Components()).
+	CompISPI [metrics.NumComponents]float64 `json:"comp_ispi"`
+	// MissPct is right-path misses per structural line reference over the
+	// interval, as a percentage.
+	MissPct float64 `json:"miss_pct"`
+	// BusOccupancyPct is the fraction of interval cycles the memory bus was
+	// occupied, as a percentage (can exceed 100 with pipelined memory).
+	BusOccupancyPct float64 `json:"bus_occupancy_pct"`
+}
+
+// IntervalSampler collects a SeriesPoint per engine sample. It implements
+// Probe (listening to bus events for occupancy) and Sampler; attach it via
+// Config.Probe with a positive Config.SampleInterval.
+type IntervalSampler struct {
+	NopProbe
+
+	points []SeriesPoint
+
+	// base holds the counters at the start of the interval the next point
+	// will cover; prevBase is the base of the last closed interval, kept so
+	// a run-end sample that adds no instructions (only trailing stall
+	// cycles) can be merged into the last point instead of dropped.
+	base            Snapshot
+	baseBusBusy     int64
+	prevBase        Snapshot
+	prevBaseBusBusy int64
+
+	busBusy     int64 // cumulative bus-occupied cycles
+	lastAcquire int64 // start cycle of the in-flight transfer
+}
+
+// NewIntervalSampler builds an empty sampler.
+func NewIntervalSampler() *IntervalSampler { return &IntervalSampler{} }
+
+// BusAcquire tracks the start of a transfer for occupancy accounting.
+func (s *IntervalSampler) BusAcquire(cy int64, line uint64, kind FillKind) {
+	s.lastAcquire = cy
+}
+
+// BusRelease accumulates the completed transfer's occupancy. The engine
+// emits acquire/release pairs adjacently, so pairing by order is exact.
+func (s *IntervalSampler) BusRelease(cy int64) {
+	s.busBusy += cy - s.lastAcquire
+}
+
+// Sample appends one interval point covering [previous sample, snap]. A
+// snapshot that adds no instructions but does advance other counters (the
+// run-end sample after the last issue) is folded into the last point, so
+// the final point's cumulative values always match the run's Result.
+func (s *IntervalSampler) Sample(snap Snapshot) {
+	if snap.Insts > s.base.Insts {
+		s.points = append(s.points, s.point(s.base, s.baseBusBusy, snap))
+		s.prevBase, s.prevBaseBusBusy = s.base, s.baseBusBusy
+		s.base, s.baseBusBusy = snap, s.busBusy
+		return
+	}
+	if len(s.points) > 0 && snap != s.base {
+		s.points[len(s.points)-1] = s.point(s.prevBase, s.prevBaseBusBusy, snap)
+		s.base, s.baseBusBusy = snap, s.busBusy
+	}
+}
+
+// point builds the series point for the interval from..snap.
+func (s *IntervalSampler) point(from Snapshot, fromBusBusy int64, snap Snapshot) SeriesPoint {
+	dInsts := snap.Insts - from.Insts
+	dCycles := snap.Cycle - from.Cycle
+
+	p := SeriesPoint{Insts: snap.Insts, Cycle: snap.Cycle}
+	var lost int64
+	for i := range p.CompISPI {
+		d := snap.Lost[i] - from.Lost[i]
+		lost += d
+		p.CompISPI[i] = float64(d) / float64(dInsts)
+	}
+	p.ISPI = float64(lost) / float64(dInsts)
+	p.CumISPI = snap.Lost.TotalISPI(snap.Insts)
+	if dCycles > 0 {
+		p.IPC = float64(dInsts) / float64(dCycles)
+		p.BusOccupancyPct = 100 * float64(s.busBusy-fromBusBusy) / float64(dCycles)
+	}
+	if dAcc := snap.RightPathAccesses - from.RightPathAccesses; dAcc > 0 {
+		p.MissPct = 100 * float64(snap.RightPathMisses-from.RightPathMisses) / float64(dAcc)
+	}
+	return p
+}
+
+// Points returns the collected series, oldest first.
+func (s *IntervalSampler) Points() []SeriesPoint { return s.points }
+
+// WriteCSV writes the series with a header row; component columns follow
+// the paper's stacking order, prefixed "ispi_".
+func (s *IntervalSampler) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("insts,cycle,ipc,ispi,cum_ispi"); err != nil {
+		return err
+	}
+	for _, c := range metrics.Components() {
+		fmt.Fprintf(bw, ",ispi_%s", c)
+	}
+	if _, err := bw.WriteString(",miss_pct,bus_occupancy_pct\n"); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, p := range s.points {
+		fmt.Fprintf(bw, "%d,%d,%s,%s,%s", p.Insts, p.Cycle, f(p.IPC), f(p.ISPI), f(p.CumISPI))
+		for _, v := range p.CompISPI {
+			fmt.Fprintf(bw, ",%s", f(v))
+		}
+		fmt.Fprintf(bw, ",%s,%s\n", f(p.MissPct), f(p.BusOccupancyPct))
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes the series as a JSON array of points.
+func (s *IntervalSampler) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	pts := s.points
+	if pts == nil {
+		pts = []SeriesPoint{}
+	}
+	return enc.Encode(pts)
+}

@@ -1,0 +1,264 @@
+// Package obs is the simulation observability layer: a typed Probe
+// interface the fetch engine invokes at interesting points of a run, plus
+// standard collectors — a bounded ring-buffer event recorder with JSONL
+// export, an interval time-series sampler (CSV/JSON), a Prometheus-style
+// counters registry with text exposition, and a Chrome trace-event
+// (Perfetto / about:tracing) timeline exporter.
+//
+// The engine holds a nil Probe by default and guards every call site with a
+// single nil check, so the disabled path costs one predictable branch per
+// hook and no allocation. Collectors compose with Multi, so an event
+// recorder and an interval sampler can observe the same run.
+package obs
+
+import (
+	"fmt"
+
+	"specfetch/internal/metrics"
+)
+
+// FillKind labels what initiated a line transfer over the memory bus.
+type FillKind uint8
+
+const (
+	// FillDemand is a right-path demand miss fill.
+	FillDemand FillKind = iota
+	// FillWrongPath is a wrong-path miss the policy chose to service.
+	FillWrongPath
+	// FillPrefetch is a next-line / target / stream prefetch.
+	FillPrefetch
+
+	numFillKinds
+)
+
+var fillKindNames = [numFillKinds]string{
+	FillDemand:    "demand",
+	FillWrongPath: "wrong_path",
+	FillPrefetch:  "prefetch",
+}
+
+// String returns the snake_case name of the fill kind.
+func (k FillKind) String() string {
+	if k < numFillKinds {
+		return fillKindNames[k]
+	}
+	return fmt.Sprintf("fill(%d)", int(k))
+}
+
+// RedirectKind labels a front-end redirect — the paper's Table 3 events.
+type RedirectKind uint8
+
+const (
+	// RedirectPHTMispredict is a conditional branch whose predicted
+	// direction was wrong (resolve-time redirect).
+	RedirectPHTMispredict RedirectKind = iota
+	// RedirectBTBMisfetch is a branch whose target had to be computed at
+	// decode (decode-time redirect).
+	RedirectBTBMisfetch
+	// RedirectBTBMispredict is an indirect transfer whose BTB target was
+	// stale (resolve-time redirect).
+	RedirectBTBMispredict
+
+	numRedirectKinds
+)
+
+var redirectKindNames = [numRedirectKinds]string{
+	RedirectPHTMispredict: "pht_mispredict",
+	RedirectBTBMisfetch:   "btb_misfetch",
+	RedirectBTBMispredict: "btb_mispredict",
+}
+
+// String returns the snake_case name of the redirect kind.
+func (k RedirectKind) String() string {
+	if k < numRedirectKinds {
+		return redirectKindNames[k]
+	}
+	return fmt.Sprintf("redirect(%d)", int(k))
+}
+
+// Probe receives typed instrumentation callbacks from the simulation
+// engine. Implementations must not mutate engine state. Cycle arguments may
+// lie in the future relative to the callback's emission point: the engine
+// reports scheduled completions (fills, bus releases, branch resolves)
+// eagerly, at the cycle the event is scheduled rather than the cycle it
+// takes effect. Embed NopProbe to implement only a subset.
+type Probe interface {
+	// FetchCycle fires once per correct-path fetch group with the cycle it
+	// started in and how many instructions issued in it (0..width).
+	FetchCycle(cy int64, issued int)
+	// MissStart fires when a demand lookup misses the I-cache, on either
+	// the correct path (wrongPath=false) or a speculative one.
+	MissStart(cy int64, line uint64, wrongPath bool)
+	// FillComplete fires when a line fill is scheduled, with the cycle the
+	// line becomes available.
+	FillComplete(cy int64, line uint64, kind FillKind)
+	// BusAcquire fires when a transfer occupies the single memory channel,
+	// with the cycle the transfer starts.
+	BusAcquire(cy int64, line uint64, kind FillKind)
+	// BusRelease fires with the completion cycle of the transfer reported
+	// by the immediately preceding BusAcquire.
+	BusRelease(cy int64)
+	// BranchResolve fires when a conditional or indirect correct-path
+	// branch is scheduled to resolve.
+	BranchResolve(cy int64, pc uint64, taken, mispredicted bool)
+	// Redirect fires when the front end redirects back to the correct path
+	// after a misfetch/mispredict window.
+	Redirect(cy int64, kind RedirectKind, resumePC uint64)
+	// Prefetch fires when a prefetch transfer is issued, with its
+	// completion cycle.
+	Prefetch(cy int64, line uint64, doneAt int64)
+	// WindowStart fires when a misfetch/mispredict window opens at the
+	// branch's fetch cycle; until is the nominal redirect cycle.
+	WindowStart(cy int64, kind RedirectKind, until int64)
+	// WindowEnd fires with the cycle correct-path fetch actually resumes
+	// (past `until` when a blocking wrong-path fill is outstanding).
+	WindowEnd(cy int64)
+	// Stall fires for each contiguous run of dead correct-path cycles
+	// [cy, until) charged to a single penalty component, with the issue
+	// slots lost in the run.
+	Stall(cy, until int64, comp metrics.Component, slots int64)
+}
+
+// NopProbe implements every Probe callback as a no-op; embed it to override
+// only the callbacks a collector cares about.
+type NopProbe struct{}
+
+func (NopProbe) FetchCycle(int64, int)                        {}
+func (NopProbe) MissStart(int64, uint64, bool)                {}
+func (NopProbe) FillComplete(int64, uint64, FillKind)         {}
+func (NopProbe) BusAcquire(int64, uint64, FillKind)           {}
+func (NopProbe) BusRelease(int64)                             {}
+func (NopProbe) BranchResolve(int64, uint64, bool, bool)      {}
+func (NopProbe) Redirect(int64, RedirectKind, uint64)         {}
+func (NopProbe) Prefetch(int64, uint64, int64)                {}
+func (NopProbe) WindowStart(int64, RedirectKind, int64)       {}
+func (NopProbe) WindowEnd(int64)                              {}
+func (NopProbe) Stall(int64, int64, metrics.Component, int64) {}
+
+// Snapshot is a point-in-time copy of the engine's cumulative counters,
+// delivered to Samplers. All fields are cumulative since run start;
+// interval collectors difference consecutive snapshots.
+type Snapshot struct {
+	// Cycle is the simulation cycle at the sample point.
+	Cycle int64
+	// Insts is the number of correct-path instructions issued so far.
+	Insts int64
+	// Lost is the per-component lost-slot breakdown so far.
+	Lost metrics.Breakdown
+	// RightPathAccesses / RightPathMisses count structural correct-path
+	// line references and their misses so far.
+	RightPathAccesses int64
+	RightPathMisses   int64
+	// BusTransfers counts line movements over the memory bus so far.
+	BusTransfers uint64
+}
+
+// Sampler is an optional Probe extension. When the engine's configuration
+// sets a positive SampleInterval and the attached probe implements Sampler,
+// the engine calls Sample every SampleInterval correct-path instructions
+// and once more at run end with the final counters.
+type Sampler interface {
+	Sample(s Snapshot)
+}
+
+// multi fans every callback out to several probes in order.
+type multi struct {
+	parts    []Probe
+	samplers []Sampler
+}
+
+// Multi composes several probes into one: every callback is forwarded to
+// each part in order, and Sample is forwarded to the parts that implement
+// Sampler. Nil parts are skipped; Multi() returns nil and Multi(p) returns
+// p unwrapped.
+func Multi(ps ...Probe) Probe {
+	m := &multi{}
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		m.parts = append(m.parts, p)
+		if s, ok := p.(Sampler); ok {
+			m.samplers = append(m.samplers, s)
+		}
+	}
+	switch len(m.parts) {
+	case 0:
+		return nil
+	case 1:
+		return m.parts[0]
+	}
+	return m
+}
+
+func (m *multi) FetchCycle(cy int64, issued int) {
+	for _, p := range m.parts {
+		p.FetchCycle(cy, issued)
+	}
+}
+
+func (m *multi) MissStart(cy int64, line uint64, wrongPath bool) {
+	for _, p := range m.parts {
+		p.MissStart(cy, line, wrongPath)
+	}
+}
+
+func (m *multi) FillComplete(cy int64, line uint64, kind FillKind) {
+	for _, p := range m.parts {
+		p.FillComplete(cy, line, kind)
+	}
+}
+
+func (m *multi) BusAcquire(cy int64, line uint64, kind FillKind) {
+	for _, p := range m.parts {
+		p.BusAcquire(cy, line, kind)
+	}
+}
+
+func (m *multi) BusRelease(cy int64) {
+	for _, p := range m.parts {
+		p.BusRelease(cy)
+	}
+}
+
+func (m *multi) BranchResolve(cy int64, pc uint64, taken, mispredicted bool) {
+	for _, p := range m.parts {
+		p.BranchResolve(cy, pc, taken, mispredicted)
+	}
+}
+
+func (m *multi) Redirect(cy int64, kind RedirectKind, resumePC uint64) {
+	for _, p := range m.parts {
+		p.Redirect(cy, kind, resumePC)
+	}
+}
+
+func (m *multi) Prefetch(cy int64, line uint64, doneAt int64) {
+	for _, p := range m.parts {
+		p.Prefetch(cy, line, doneAt)
+	}
+}
+
+func (m *multi) WindowStart(cy int64, kind RedirectKind, until int64) {
+	for _, p := range m.parts {
+		p.WindowStart(cy, kind, until)
+	}
+}
+
+func (m *multi) WindowEnd(cy int64) {
+	for _, p := range m.parts {
+		p.WindowEnd(cy)
+	}
+}
+
+func (m *multi) Stall(cy, until int64, comp metrics.Component, slots int64) {
+	for _, p := range m.parts {
+		p.Stall(cy, until, comp, slots)
+	}
+}
+
+func (m *multi) Sample(s Snapshot) {
+	for _, sm := range m.samplers {
+		sm.Sample(s)
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// traceEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// the JSON Perfetto and chrome://tracing load directly. Timestamps are in
+// "microseconds"; the exporter maps one simulated cycle to one microsecond.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Timeline track (thread) ids: one track per modelled resource.
+const (
+	tidFetch    = 1 // fetch unit: stalls, windows, redirects, demand misses
+	tidBus      = 2 // memory bus: one span per line transfer
+	tidResume   = 3 // resume buffer: wrong-path fills in flight
+	tidPrefetch = 4 // prefetch buffer: prefetches in flight
+	tidBranch   = 5 // branch unit: resolve/mispredict instants
+)
+
+const tracePid = 1
+
+// WriteChromeTrace renders a recorded event stream as Chrome trace-event
+// JSON with one track per resource (fetch unit, bus, resume buffer,
+// prefetch buffer, branches) plus an "issued" counter series from
+// fetch_cycle events. Load the output in https://ui.perfetto.dev or
+// chrome://tracing; overlapping spans make wrong-path fills and
+// Resume-policy redirects directly visible.
+//
+// Events may carry future timestamps and need not be sorted; the viewers
+// sort by ts. Span pairing (bus acquire/release, wrong-path miss/fill)
+// tolerates pairs truncated by the recorder's ring buffer.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev traceEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+
+	meta := func(name string, tid int, args map[string]any) traceEvent {
+		return traceEvent{Name: name, Ph: "M", Pid: tracePid, Tid: tid, Args: args}
+	}
+	metas := []traceEvent{
+		meta("process_name", 0, map[string]any{"name": "specfetch"}),
+		meta("thread_name", tidFetch, map[string]any{"name": "fetch unit"}),
+		meta("thread_name", tidBus, map[string]any{"name": "bus"}),
+		meta("thread_name", tidResume, map[string]any{"name": "resume buffer"}),
+		meta("thread_name", tidPrefetch, map[string]any{"name": "prefetch buffer"}),
+		meta("thread_name", tidBranch, map[string]any{"name": "branches"}),
+	}
+	for _, m := range metas {
+		if err := emit(m); err != nil {
+			return err
+		}
+	}
+
+	// Pairing state for span reconstruction.
+	var busStart int64
+	var busLine uint64
+	var busKind string
+	busOpen := false
+	wpMiss := map[uint64]int64{} // wrong-path miss line -> start cycle
+
+	for _, ev := range events {
+		var out traceEvent
+		switch ev.Type {
+		case EvFetchCycle:
+			out = traceEvent{Name: "issued", Ph: "C", Ts: ev.Cy, Pid: tracePid, Tid: tidFetch,
+				Args: map[string]any{"issued": ev.Issued}}
+
+		case EvStall:
+			out = traceEvent{Name: "stall:" + ev.Comp, Ph: "X", Ts: ev.Cy, Dur: ev.Until - ev.Cy,
+				Pid: tracePid, Tid: tidFetch, Args: map[string]any{"slots": ev.Slots}}
+
+		case EvWindowStart:
+			out = traceEvent{Name: "window:" + ev.Kind, Ph: "X", Ts: ev.Cy, Dur: ev.Until - ev.Cy,
+				Pid: tracePid, Tid: tidFetch}
+
+		case EvWindowEnd:
+			out = traceEvent{Name: "resume", Ph: "i", Ts: ev.Cy, Pid: tracePid, Tid: tidFetch, S: "t"}
+
+		case EvRedirect:
+			out = traceEvent{Name: "redirect:" + ev.Kind, Ph: "i", Ts: ev.Cy,
+				Pid: tracePid, Tid: tidFetch, S: "t", Args: map[string]any{"resume_pc": ev.PC}}
+
+		case EvMissStart:
+			if ev.Kind == fillKindNames[FillWrongPath] {
+				wpMiss[ev.Line] = ev.Cy
+				continue
+			}
+			out = traceEvent{Name: "miss", Ph: "i", Ts: ev.Cy, Pid: tracePid, Tid: tidFetch,
+				S: "t", Args: map[string]any{"line": ev.Line}}
+
+		case EvFillComplete:
+			if ev.Kind != fillKindNames[FillWrongPath] {
+				continue // demand fills show as bus spans, prefetches below
+			}
+			start, ok := wpMiss[ev.Line]
+			if !ok {
+				start = ev.Cy // ring truncated the matching miss_start
+			}
+			delete(wpMiss, ev.Line)
+			out = traceEvent{Name: "wp fill", Ph: "X", Ts: start, Dur: ev.Cy - start,
+				Pid: tracePid, Tid: tidResume, Args: map[string]any{"line": ev.Line}}
+
+		case EvBusAcquire:
+			busStart, busLine, busKind, busOpen = ev.Cy, ev.Line, ev.Kind, true
+			continue
+
+		case EvBusRelease:
+			if !busOpen {
+				continue // ring truncated the matching bus_acquire
+			}
+			busOpen = false
+			out = traceEvent{Name: "xfer:" + busKind, Ph: "X", Ts: busStart, Dur: ev.Cy - busStart,
+				Pid: tracePid, Tid: tidBus, Args: map[string]any{"line": busLine}}
+
+		case EvPrefetch:
+			out = traceEvent{Name: "prefetch", Ph: "X", Ts: ev.Cy, Dur: ev.Until - ev.Cy,
+				Pid: tracePid, Tid: tidPrefetch, Args: map[string]any{"line": ev.Line}}
+
+		case EvBranchResolve:
+			name := "resolve"
+			if ev.Mispredict {
+				name = "mispredict"
+			}
+			out = traceEvent{Name: name, Ph: "i", Ts: ev.Cy, Pid: tracePid, Tid: tidBranch,
+				S: "t", Args: map[string]any{"pc": ev.PC, "taken": ev.Taken}}
+
+		default:
+			continue
+		}
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"specfetch/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents exercises every exporter branch: counter series, stall and
+// window spans, instants, paired wrong-path miss/fill, an unpaired fill
+// (truncated ring), paired and truncated bus transfers, prefetch spans, and
+// both branch-resolve flavours.
+func goldenEvents() []Event {
+	r := NewEventRecorder(64)
+	r.FetchCycle(0, 4)
+	r.MissStart(0, 7, false)
+	r.BusAcquire(0, 7, FillDemand)
+	r.BusRelease(5)
+	r.FillComplete(5, 7, FillDemand)
+	r.Stall(0, 5, metrics.RTICache, 20)
+	r.FetchCycle(5, 4)
+	r.BranchResolve(6, 0x400, true, false)
+	r.BranchResolve(7, 0x420, true, true)
+	r.WindowStart(7, RedirectPHTMispredict, 11)
+	r.MissStart(8, 9, true)
+	r.BusAcquire(8, 9, FillWrongPath)
+	r.BusRelease(13)
+	r.FillComplete(13, 9, FillWrongPath)
+	r.FillComplete(20, 30, FillWrongPath) // miss_start lost to the ring
+	r.Stall(11, 13, metrics.WrongICache, 8)
+	r.Redirect(11, RedirectPHTMispredict, 0x440)
+	r.WindowEnd(13)
+	r.Prefetch(14, 10, 19)
+	r.BusAcquire(14, 10, FillPrefetch)
+	r.BusRelease(19)
+	r.BusAcquire(21, 11, FillDemand) // release never seen: no span
+	return r.Events()
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "chrome_trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run ChromeTraceGolden -update` to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output diverged from %s:\n got: %s\nwant: %s\n(rerun with -update if intended)",
+			path, buf.String(), want)
+	}
+}
+
+// TestChromeTraceWellFormed checks structural properties a viewer depends
+// on, independent of the exact golden bytes.
+func TestChromeTraceWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	var haveThreadNames, haveWPFill, haveXfer int
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		name, _ := ev["name"].(string)
+		switch {
+		case ph == "M" && name == "thread_name":
+			haveThreadNames++
+		case ph == "X" && name == "wp fill":
+			haveWPFill++
+		case ph == "X" && strings.HasPrefix(name, "xfer:"):
+			haveXfer++
+		}
+		if ph == "X" {
+			if dur, ok := ev["dur"].(float64); ok && dur < 0 {
+				t.Errorf("negative span duration in %v", ev)
+			}
+		}
+		if _, ok := ev["pid"]; !ok {
+			t.Errorf("event without pid: %v", ev)
+		}
+	}
+	if haveThreadNames != 5 {
+		t.Errorf("thread_name metadata count = %d, want 5", haveThreadNames)
+	}
+	if haveWPFill != 2 {
+		t.Errorf("wp fill spans = %d, want 2 (one paired, one truncated)", haveWPFill)
+	}
+	if haveXfer != 3 {
+		t.Errorf("bus transfer spans = %d, want 3 (trailing unpaired acquire skipped)", haveXfer)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"specfetch/internal/core"
 	"specfetch/internal/isa"
 	"specfetch/internal/metrics"
+	"specfetch/internal/obs"
 	"specfetch/internal/program"
 	"specfetch/internal/synth"
 	"specfetch/internal/trace"
@@ -136,6 +137,62 @@ func NewPredictor() Predictor { return bpred.NewDefaultDecoupled() }
 
 // Run simulates one configuration over an explicit image/trace/predictor.
 func Run(cfg Config, img *Image, rd TraceReader, pred Predictor) (Result, error) {
+	return core.Run(cfg, img, rd, pred)
+}
+
+// Probe is the engine instrumentation interface; attach one via
+// Config.Probe (and Config.SampleInterval for time-series sampling). A nil
+// probe costs one predictable branch per hook — effectively free.
+type Probe = obs.Probe
+
+// NopProbe implements every Probe callback as a no-op; embed it in custom
+// collectors.
+type NopProbe = obs.NopProbe
+
+// Event is one recorded probe callback (EventRecorder's unit).
+type Event = obs.Event
+
+// EventRecorder is a bounded ring-buffer probe with JSONL export.
+type EventRecorder = obs.EventRecorder
+
+// NewEventRecorder builds a recorder keeping the last capacity events
+// (obs.DefaultEventCapacity when capacity <= 0).
+func NewEventRecorder(capacity int) *EventRecorder { return obs.NewEventRecorder(capacity) }
+
+// IntervalSampler collects per-interval time series (ISPI breakdown, IPC,
+// miss rate, bus occupancy) with CSV/JSON export.
+type IntervalSampler = obs.IntervalSampler
+
+// NewIntervalSampler builds an empty interval sampler; set
+// Config.SampleInterval to choose the sampling period in instructions.
+func NewIntervalSampler() *IntervalSampler { return obs.NewIntervalSampler() }
+
+// SeriesPoint is one interval sample of a run's time series.
+type SeriesPoint = obs.SeriesPoint
+
+// Snapshot is the cumulative-counters view delivered to samplers.
+type Snapshot = obs.Snapshot
+
+// MetricsRegistry is a Prometheus-style counters registry with text
+// exposition and an http.Handler for /metrics endpoints.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MultiProbe composes several probes into one; each callback fans out to
+// every part in order.
+func MultiProbe(ps ...Probe) Probe { return obs.Multi(ps...) }
+
+// WriteChromeTrace renders recorded events as Chrome trace-event JSON,
+// loadable in https://ui.perfetto.dev or chrome://tracing.
+func WriteChromeTrace(w io.Writer, events []Event) error { return obs.WriteChromeTrace(w, events) }
+
+// RunWithProbe is Run with an attached probe and sampling interval — a
+// convenience for callers that do not want to touch Config fields.
+func RunWithProbe(cfg Config, img *Image, rd TraceReader, pred Predictor, p Probe, sampleEvery int64) (Result, error) {
+	cfg.Probe = p
+	cfg.SampleInterval = sampleEvery
 	return core.Run(cfg, img, rd, pred)
 }
 
