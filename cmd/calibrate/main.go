@@ -21,7 +21,7 @@ func main() {
 	bench := flag.String("bench", "", "only this benchmark (default: all)")
 	flag.Parse()
 
-	fmt.Printf("%-8s %-7s | %7s %7s %5s | %7s %7s | %7s %7s | %7s %7s | %7s %7s | %7s %7s | %8s\n",
+	pf("%-8s %-7s | %7s %7s %5s | %7s %7s | %7s %7s | %7s %7s | %7s %7s | %7s %7s | %8s\n",
 		"bench", "lang", "br%", "paper", "cnd%", "m8K", "paper", "m32K", "paper",
 		"phtB1", "paper", "phtB4", "paper", "btbMF", "paper", "static")
 	for _, p := range synth.Profiles() {
@@ -39,9 +39,18 @@ func main() {
 			os.Exit(1)
 		}
 		t := synth.PaperTargets[p.Name]
-		fmt.Printf("%-8s %-7s | %7.1f %7.1f %5.1f | %7.2f %7.2f | %7.2f %7.2f | %7.2f %7.2f | %7.2f %7.2f | %7.2f %7.2f | %8d\n",
+		pf("%-8s %-7s | %7.1f %7.1f %5.1f | %7.2f %7.2f | %7.2f %7.2f | %7.2f %7.2f | %7.2f %7.2f | %7.2f %7.2f | %8d\n",
 			c.Name, c.Lang, c.BranchPct, t.BranchPct, c.CondPct, c.Miss8K, t.Miss8K, c.Miss32K, t.Miss32K,
 			c.PHTISPIB1, t.PHTISPIB1, c.PHTISPIB4, t.PHTISPIB4,
 			c.BTBMisfetchISPI, t.BTBMisfetchISPI, c.StaticInsts)
+	}
+}
+
+// pf is a checked Printf: a broken stdout (closed pipe) is a hard error, not
+// a silent truncation of the calibration table.
+func pf(format string, args ...any) {
+	if _, err := fmt.Printf(format, args...); err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: writing output: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -42,12 +42,13 @@ func main() {
 		seriesPath   = flag.String("series", "", "write the interval time-series to this file (.json extension selects JSON, anything else CSV)")
 		interval     = flag.Int64("interval", 10_000, "instructions per -series sample")
 		eventCap     = flag.Int("event-cap", 1<<20, "ring-buffer capacity for -events/-timeline; oldest events drop beyond it")
+		audit        = flag.Bool("audit", false, "attach the runtime accounting auditor; any invariant violation aborts with a cycle-stamped diagnosis")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, p := range specfetch.Profiles() {
-			fmt.Printf("%-8s %-8s %s\n", p.Name, p.Lang, p.Description)
+			pf("%-8s %-8s %s\n", p.Name, p.Lang, p.Description)
 		}
 		return
 	}
@@ -80,6 +81,26 @@ func main() {
 		probes = append(probes, samp)
 		cfg.SampleInterval = *interval
 	}
+	var aud *specfetch.AuditProbe
+	if *audit {
+		aud = specfetch.NewAuditProbe(specfetch.AuditOptions{
+			Width:           cfg.FetchWidth,
+			AllowBusOverlap: cfg.PipelinedMemory,
+		})
+		probes = append(probes, aud)
+		// A streaming violation surfaces as a panic carrying *AuditError;
+		// turn it into a clean diagnostic instead of a stack trace.
+		defer func() {
+			if r := recover(); r != nil {
+				ae, ok := r.(*specfetch.AuditError)
+				if !ok {
+					panic(r)
+				}
+				fmt.Fprintf(os.Stderr, "fetchsim: audit: %v\n", ae)
+				os.Exit(1)
+			}
+		}()
+	}
 	cfg.Probe = specfetch.MultiProbe(probes...)
 
 	var res specfetch.Result
@@ -109,26 +130,50 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("benchmark    %s\n", benchLabel)
-	fmt.Printf("machine      %d-wide, depth %d, %dB I-cache, %d-cycle miss penalty, prefetch=%v\n",
+	pf("benchmark    %s\n", benchLabel)
+	pf("machine      %d-wide, depth %d, %dB I-cache, %d-cycle miss penalty, prefetch=%v\n",
 		cfg.FetchWidth, cfg.MaxUnresolved, cfg.ICache.SizeBytes, cfg.MissPenalty, cfg.NextLinePrefetch)
-	fmt.Printf("policy       %s\n", pol)
-	fmt.Printf("instructions %d  cycles %d  IPC %.3f\n", res.Insts, res.Cycles, res.IPC())
-	fmt.Printf("total ISPI   %.4f\n", res.TotalISPI())
+	pf("policy       %s\n", pol)
+	pf("instructions %d  cycles %d  IPC %.3f\n", res.Insts, res.Cycles, res.IPC())
+	pf("total ISPI   %.4f\n", res.TotalISPI())
 	for _, c := range specfetch.Components() {
-		fmt.Printf("  %-14s %.4f\n", c, res.ISPI(c))
+		pf("  %-14s %.4f\n", c, res.ISPI(c))
 	}
-	fmt.Printf("right-path miss ratio  %.3f%% (%d misses / %d refs)\n",
+	pf("right-path miss ratio  %.3f%% (%d misses / %d refs)\n",
 		res.MissRatioPct(), res.RightPathMisses, res.RightPathAccesses)
-	fmt.Printf("wrong-path             %d insts fetched, %d misses\n",
+	pf("wrong-path             %d insts fetched, %d misses\n",
 		res.WrongPathInsts, res.WrongPathMisses)
-	fmt.Printf("memory traffic         %d lines (%d demand, %d wrong-path, %d prefetch)\n",
+	pf("memory traffic         %d lines (%d demand, %d wrong-path, %d prefetch)\n",
 		res.Traffic.Total(), res.Traffic.DemandFills, res.Traffic.WrongPathFills, res.Traffic.PrefetchFills)
-	fmt.Printf("branch events          %d mispredicts, %d misfetches, %d BTB target mispredicts\n",
+	pf("branch events          %d mispredicts, %d misfetches, %d BTB target mispredicts\n",
 		res.Events.PHTMispredicts, res.Events.BTBMisfetches, res.Events.BTBMispredicts)
+
+	if aud != nil {
+		if err := aud.Verify(specfetch.AuditFinal{
+			Insts:          res.Insts,
+			Cycles:         res.Cycles,
+			Lost:           res.Lost,
+			DemandFills:    res.Traffic.DemandFills,
+			WrongPathFills: res.Traffic.WrongPathFills,
+			PrefetchFills:  res.Traffic.PrefetchFills,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "fetchsim: audit: %v\n", err)
+			os.Exit(1)
+		}
+		pf("audit                  ok (all accounting identities verified)\n")
+	}
 
 	if err := writeArtifacts(rec, samp, *eventsPath, *timelinePath, *seriesPath); err != nil {
 		fmt.Fprintf(os.Stderr, "fetchsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// pf is a checked Printf: a broken stdout is a hard error, not a silently
+// truncated result block.
+func pf(format string, args ...any) {
+	if _, err := fmt.Printf(format, args...); err != nil {
+		fmt.Fprintf(os.Stderr, "fetchsim: writing output: %v\n", err)
 		os.Exit(1)
 	}
 }
@@ -142,7 +187,7 @@ func writeArtifacts(rec *specfetch.EventRecorder, samp *specfetch.IntervalSample
 			return err
 		}
 		if err := fn(f); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			return err
 		}
 		return f.Close()
@@ -155,7 +200,7 @@ func writeArtifacts(rec *specfetch.EventRecorder, samp *specfetch.IntervalSample
 		if err := writeTo(eventsPath, func(f *os.File) error { return rec.WriteJSONL(f) }); err != nil {
 			return err
 		}
-		fmt.Printf("events                 %s (%d events)\n", eventsPath, len(rec.Events()))
+		pf("events                 %s (%d events)\n", eventsPath, len(rec.Events()))
 	}
 	if timelinePath != "" {
 		if err := writeTo(timelinePath, func(f *os.File) error {
@@ -163,7 +208,7 @@ func writeArtifacts(rec *specfetch.EventRecorder, samp *specfetch.IntervalSample
 		}); err != nil {
 			return err
 		}
-		fmt.Printf("timeline               %s (open in https://ui.perfetto.dev)\n", timelinePath)
+		pf("timeline               %s (open in https://ui.perfetto.dev)\n", timelinePath)
 	}
 	if seriesPath != "" {
 		asJSON := len(seriesPath) > 5 && seriesPath[len(seriesPath)-5:] == ".json"
@@ -175,7 +220,7 @@ func writeArtifacts(rec *specfetch.EventRecorder, samp *specfetch.IntervalSample
 		}); err != nil {
 			return err
 		}
-		fmt.Printf("series                 %s (%d samples)\n", seriesPath, len(samp.Points()))
+		pf("series                 %s (%d samples)\n", seriesPath, len(samp.Points()))
 	}
 	return nil
 }
@@ -186,7 +231,7 @@ func runFromFiles(cfg specfetch.Config, imagePath, tracePath string, insts int64
 	if err != nil {
 		return specfetch.Result{}, err
 	}
-	defer imgF.Close()
+	defer func() { _ = imgF.Close() }() // read side; nothing to lose on close
 	img, err := specfetch.ReadImage(imgF)
 	if err != nil {
 		return specfetch.Result{}, err
@@ -195,7 +240,7 @@ func runFromFiles(cfg specfetch.Config, imagePath, tracePath string, insts int64
 	if err != nil {
 		return specfetch.Result{}, err
 	}
-	defer trcF.Close()
+	defer func() { _ = trcF.Close() }() // read side; nothing to lose on close
 	rd, err := specfetch.OpenTrace(trcF)
 	if err != nil {
 		return specfetch.Result{}, err

@@ -105,6 +105,10 @@ func main() {
 		}
 	}
 
+	newline := func() {
+		_, err := fmt.Println()
+		run(err)
+	}
 	emitTable := func(t *texttable.Table, err error) {
 		run(err)
 		if *csv {
@@ -112,12 +116,12 @@ func main() {
 		} else {
 			run(t.Render(os.Stdout))
 		}
-		fmt.Println()
+		newline()
 	}
 	emitFigure := func(f *texttable.StackedBars, err error) {
 		run(err)
 		run(f.Render(os.Stdout))
-		fmt.Println()
+		newline()
 	}
 
 	tables := map[int]func(experiments.Options) (*texttable.Table, error){

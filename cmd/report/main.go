@@ -34,28 +34,36 @@ func main() {
 	}
 
 	var w io.Writer = os.Stdout
+	closeOut := func() error { return nil }
 	if *out != "-" {
 		f, err := os.Create(*out)
 		fail(err)
-		defer f.Close()
+		closeOut = f.Close
 		w = f
 	}
 
+	// pf is a checked Fprintf: a write failure (full disk, broken pipe) must
+	// not yield a silently truncated report.
+	pf := func(format string, args ...any) {
+		_, err := fmt.Fprintf(w, format, args...)
+		fail(err)
+	}
+
 	start := time.Now()
-	fmt.Fprintf(w, "# specfetch reproduction report\n\n")
-	fmt.Fprintf(w, "Lee, Baer, Calder, Grunwald: *Instruction Cache Fetch Policies for\nSpeculative Execution*, ISCA 1995.\n\n")
-	fmt.Fprintf(w, "- instruction budget: %d per benchmark\n", opt.Insts)
-	fmt.Fprintf(w, "- generated: %s\n\n", time.Now().Format(time.RFC3339))
+	pf("# specfetch reproduction report\n\n")
+	pf("Lee, Baer, Calder, Grunwald: *Instruction Cache Fetch Policies for\nSpeculative Execution*, ISCA 1995.\n\n")
+	pf("- instruction budget: %d per benchmark\n", opt.Insts)
+	pf("- generated: %s\n\n", time.Now().Format(time.RFC3339))
 
 	section := func(title string, render func() (fmt.Stringer, error)) {
-		fmt.Fprintf(w, "## %s\n\n```\n", title)
+		pf("## %s\n\n```\n", title)
 		art, err := render()
 		if err != nil {
-			fmt.Fprintf(w, "ERROR: %v\n", err)
+			pf("ERROR: %v\n", err)
 		} else {
-			fmt.Fprint(w, art.String())
+			pf("%s", art.String())
 		}
-		fmt.Fprintf(w, "```\n\n")
+		pf("```\n\n")
 	}
 
 	tables := []struct {
@@ -107,7 +115,8 @@ func main() {
 		})
 	}
 
-	fmt.Fprintf(w, "---\nreport generated in %s\n", time.Since(start).Round(time.Second))
+	pf("---\nreport generated in %s\n", time.Since(start).Round(time.Second))
+	fail(closeOut())
 }
 
 func fail(err error) {

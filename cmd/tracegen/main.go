@@ -39,11 +39,11 @@ func main() {
 		defer closeFn()
 		st, err := trace.Scan(rd)
 		fail(err)
-		fmt.Printf("records        %d\n", st.Records)
-		fmt.Printf("instructions   %d\n", st.Insts)
-		fmt.Printf("branches       %d (%.2f%%)\n", st.Branches, 100*st.BranchFrac())
-		fmt.Printf("conditionals   %d (%.1f%% taken)\n", st.Conditionals, 100*st.TakenFrac())
-		fmt.Printf("unconditional  %d (%d calls, %d returns, %d indirect)\n",
+		pf("records        %d\n", st.Records)
+		pf("instructions   %d\n", st.Insts)
+		pf("branches       %d (%.2f%%)\n", st.Branches, 100*st.BranchFrac())
+		pf("conditionals   %d (%.1f%% taken)\n", st.Conditionals, 100*st.TakenFrac())
+		pf("unconditional  %d (%d calls, %d returns, %d indirect)\n",
 			st.Unconditional, st.Calls, st.Returns, st.Indirect)
 
 	case *convert != "":
@@ -84,13 +84,21 @@ func fail(err error) {
 	}
 }
 
+// pf is a checked Printf: a broken stdout is a hard error, not a silently
+// truncated stats report.
+func pf(format string, args ...any) {
+	_, err := fmt.Printf(format, args...)
+	fail(err)
+}
+
 // openTrace opens a trace file; format (gzip/binary/text) is sniffed.
 func openTrace(path string) (trace.Reader, func()) {
 	f, err := os.Open(path)
 	fail(err)
 	rd, err := specfetch.OpenTrace(f)
 	fail(err)
-	return rd, func() { f.Close() }
+	// Read side: a close error cannot lose data, so it is deliberately ignored.
+	return rd, func() { _ = f.Close() }
 }
 
 // openWriter builds the requested writer over the output path.

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the fixture golden files")
+
+// TestAnalyzerFixtures runs each analyzer over its own fixture package and
+// compares the rendered diagnostics against the checked-in golden file.
+// Regenerate with `go test ./internal/analysis -run Fixtures -update`.
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", a.Name)
+			pkgs, err := Load(".", []string{dir})
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			if len(pkgs) != 1 {
+				t.Fatalf("fixture loaded %d packages, want 1", len(pkgs))
+			}
+			if errs := pkgs[0].TypeErrors; len(errs) != 0 {
+				t.Fatalf("fixture does not type-check: %v", errs)
+			}
+
+			diags := Run(pkgs, []*Analyzer{a})
+			if len(diags) == 0 {
+				t.Fatalf("fixture produced no findings; the analyzer is not firing")
+			}
+			base, err := filepath.Abs(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			for _, d := range diags {
+				sb.WriteString(d.String(base))
+				sb.WriteByte('\n')
+			}
+			got := sb.String()
+
+			golden := filepath.Join(dir, a.Name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics diverge from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestLoadRepo checks the loader stands up the whole module offline: every
+// package parses and type-checks with stdlib imports resolved from export
+// data.
+func TestLoadRepo(t *testing.T) {
+	pkgs, err := Load(".", []string{"../../..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("only %d packages loaded from the module root", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) != 0 {
+			t.Errorf("%s: type errors: %v", p.PkgPath, p.TypeErrors)
+		}
+	}
+}
+
+// TestByName covers the -only flag's analyzer resolution.
+func TestByName(t *testing.T) {
+	as, err := ByName("determinism, errcheck")
+	if err != nil || len(as) != 2 || as[0].Name != "determinism" || as[1].Name != "errcheck" {
+		t.Fatalf("ByName = %v, %v", as, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("unknown analyzer accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EnumSwitch requires switches over module-defined integer enums (Policy,
+// Component, lookupKind, the obs event kinds, ...) to either cover every
+// enumerator or carry an explicit default. Without this, adding a seventh
+// stall component or a sixth policy compiles cleanly while silently falling
+// through existing switches — exactly how accounting cycles get dropped.
+//
+// An enum is a defined integer type with at least two package-level
+// constants of that exact type in its defining package; constants named
+// num*/Num* are sentinels (the count idiom) and are not required.
+var EnumSwitch = &Analyzer{
+	Name: "enumswitch",
+	Doc:  "switches over module enums must be exhaustive or have a default",
+	Run:  runEnumSwitch,
+}
+
+func runEnumSwitch(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkEnumSwitch(pass, info, sw)
+			return true
+		})
+	}
+}
+
+func checkEnumSwitch(pass *Pass, info *types.Info, sw *ast.SwitchStmt) {
+	tagType := info.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	named, ok := types.Unalias(tagType).(*types.Named)
+	if !ok {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	defPkg := named.Obj().Pkg()
+	if defPkg == nil || !moduleInternal(pass.Pkg.ModulePath, defPkg.Path()) {
+		return // only police enums this module defines
+	}
+
+	members := enumMembers(defPkg, named)
+	if len(members) < 2 {
+		return
+	}
+
+	covered := map[string]bool{}
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	if hasDefault {
+		return
+	}
+	var missing []member
+	for _, m := range members {
+		if !covered[m.val] {
+			missing = append(missing, m)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	names := make([]string, len(missing))
+	for i, m := range missing {
+		names[i] = m.name
+	}
+	pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s (add the cases or an explicit default)",
+		named.Obj().Name(), strings.Join(names, ", "))
+}
+
+// member is one enumerator, keyed by its exact constant value so aliased
+// names count as one.
+type member struct {
+	name string
+	val  string
+	ord  int64
+}
+
+// enumMembers collects the package-level constants of exactly type named,
+// excluding num*/Num* sentinels, deduplicated by value and ordered by it.
+func enumMembers(pkg *types.Package, named *types.Named) []member {
+	byVal := map[string]member{}
+	for _, name := range pkg.Scope().Names() {
+		c, ok := pkg.Scope().Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if strings.HasPrefix(name, "num") || strings.HasPrefix(name, "Num") {
+			continue
+		}
+		val := c.Val().ExactString()
+		if _, seen := byVal[val]; seen {
+			continue
+		}
+		ord, _ := constant.Int64Val(c.Val())
+		byVal[val] = member{name: name, val: val, ord: ord}
+	}
+	out := make([]member, 0, len(byVal))
+	for _, m := range byVal {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ord < out[j].ord })
+	return out
+}
+
+// moduleInternal reports whether path is the module or one of its packages.
+func moduleInternal(modPath, path string) bool {
+	return path == modPath || strings.HasPrefix(path, modPath+"/")
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck flags discarded error results in the packages where a dropped
+// error corrupts or truncates artifacts silently: the trace and image
+// codecs, and every command's I/O paths. A full write to a closed pipe or
+// full disk must exit non-zero, not print a clean summary over a broken
+// artifact.
+//
+// A call statement (plain, deferred, or go) whose final result is `error`
+// is a finding unless:
+//
+//   - the error is explicitly discarded with `_ =`, or
+//   - the call's first argument is os.Stderr (best-effort diagnostics on
+//     the error path itself).
+var ErrCheck = &Analyzer{
+	Name:      "errcheck",
+	Doc:       "no discarded error results in codecs and CLI I/O paths",
+	AppliesTo: inPaths("internal/trace", "internal/program", "cmd"),
+	Run:       runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil {
+				return true
+			}
+			if !returnsError(info, call) || stderrCall(info, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result of %s is discarded; check it or assign to _ explicitly",
+				types.ExprString(call.Fun))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's last result is of type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return false // conversion, not a call
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return false // builtin
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// stderrCall reports whether the call writes to os.Stderr (first argument),
+// the accepted best-effort path for diagnostics.
+func stderrCall(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stderr" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && pkgNameOf(info, id) == "os"
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ProbeGuard enforces the engine's zero-overhead observability contract:
+// every call through a field named `probe` or `sampler` (the engine's
+// obs.Probe / obs.Sampler hooks) must be dominated by a nil check, so the
+// disabled path costs exactly one predictable branch per hook and never
+// dereferences a nil interface.
+//
+// Accepted guard shapes, checked syntactically on the receiver's printed
+// form (e.g. "e.probe"):
+//
+//	if e.probe != nil { e.probe.Hook(...) }          // then-branch
+//	if e.probe == nil { ... } else { e.probe.Hook() } // else-branch
+//	if e.probe == nil { return }                     // leading early-out
+//	e.probe.Hook(...)
+//
+// Conjunctions widen then-guards (p != nil && x), disjunctions widen
+// nil-tests (p == nil || x). Guards do not cross function-literal
+// boundaries: a closure may run after the guard's check went stale.
+var ProbeGuard = &Analyzer{
+	Name:      "probeguard",
+	Doc:       "probe/sampler hook calls in the engine must be nil-guarded",
+	AppliesTo: inPaths("internal/core"),
+	Run:       runProbeGuard,
+}
+
+func runProbeGuard(pass *Pass) {
+	inspectWithStack(pass.Pkg.Files, func(stack []ast.Node) bool {
+		call, ok := stack[len(stack)-1].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv := probeReceiver(call)
+		if recv == nil {
+			return true
+		}
+		recvStr := types.ExprString(recv)
+		if !guarded(stack, recvStr) {
+			sel := call.Fun.(*ast.SelectorExpr)
+			pass.Reportf(call.Pos(), "%s.%s called without a dominating `%s != nil` check (zero-overhead probe contract)",
+				recvStr, sel.Sel.Name, recvStr)
+		}
+		return true
+	})
+}
+
+// probeReceiver matches calls of the form X.probe.M(...) / X.sampler.M(...)
+// (or a bare probe.M(...) on a local), returning the probe-valued operand.
+func probeReceiver(call *ast.CallExpr) ast.Expr {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		if x.Sel.Name == "probe" || x.Sel.Name == "sampler" {
+			return x
+		}
+	case *ast.Ident:
+		if x.Name == "probe" || x.Name == "sampler" {
+			return x
+		}
+	}
+	return nil
+}
+
+// guarded reports whether the innermost stack node (the call) is dominated
+// by a nil check for recv.
+func guarded(stack []ast.Node, recv string) bool {
+	child := stack[len(stack)-1]
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false // guards don't cross function boundaries
+		case *ast.IfStmt:
+			if child == n.Body && impliesNonNil(n.Cond, recv) {
+				return true
+			}
+			if child == n.Else && impliedByNil(n.Cond, recv) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if leadingGuard(n, child, recv) {
+				return true
+			}
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// leadingGuard scans the statements of block before the one containing
+// child for an `if recv == nil { return/panic }` early-out.
+func leadingGuard(block *ast.BlockStmt, child ast.Node, recv string) bool {
+	for _, stmt := range block.List {
+		if stmt == child {
+			return false
+		}
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok || ifs.Init != nil || !impliedByNil(ifs.Cond, recv) {
+			continue
+		}
+		if len(ifs.Body.List) == 0 {
+			continue
+		}
+		switch last := ifs.Body.List[len(ifs.Body.List)-1].(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			return true
+		case *ast.ExprStmt:
+			if c, ok := last.X.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// impliesNonNil: cond true ⇒ recv != nil.
+func impliesNonNil(cond ast.Expr, recv string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.NEQ:
+			return nilComparison(c, recv)
+		case token.LAND:
+			return impliesNonNil(c.X, recv) || impliesNonNil(c.Y, recv)
+		}
+	}
+	return false
+}
+
+// impliedByNil: recv == nil ⇒ cond true (so ¬cond ⇒ recv != nil).
+func impliedByNil(cond ast.Expr, recv string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.EQL:
+			return nilComparison(c, recv)
+		case token.LOR:
+			return impliedByNil(c.X, recv) || impliedByNil(c.Y, recv)
+		}
+	}
+	return false
+}
+
+// nilComparison reports whether b compares recv against nil (either side).
+func nilComparison(b *ast.BinaryExpr, recv string) bool {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	isRecv := func(e ast.Expr) bool { return types.ExprString(ast.Unparen(e)) == recv }
+	return (isRecv(b.X) && isNil(b.Y)) || (isNil(b.X) && isRecv(b.Y))
+}

@@ -1,0 +1,76 @@
+// Package determinism is the determinism analyzer's fixture: wall-clock
+// reads, process-global rand draws, and map-iteration-ordered stores and
+// output are findings; seeded RNGs, loop-local state, and the
+// collect-then-sort idiom are not.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+// Deterministic uses of package time are allowed.
+func formatting(d time.Duration) string { return d.String() }
+
+func globalRand() int {
+	return rand.Intn(6)
+}
+
+// Seeded constructors are the approved path.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+func emitInMapOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func storeInMapOrder(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func accumulateInMapOrder(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Collect-then-sort erases iteration order before use: no finding.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Loop-local stores cannot leak iteration order: no finding.
+func loopLocal(m map[string]int) {
+	for _, v := range m {
+		double := v * 2
+		_ = double
+	}
+}
+
+// Ranging over a slice is always ordered: no finding.
+func sliceRange(xs []int, out map[int]bool) {
+	for _, x := range xs {
+		out[x] = true
+	}
+}

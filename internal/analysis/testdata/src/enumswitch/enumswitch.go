@@ -1,0 +1,67 @@
+// Package enumswitch is the enumswitch analyzer's fixture: switches over
+// module-defined integer enums must cover every enumerator or carry an
+// explicit default. num*/Num* sentinels are exempt, aliased values count
+// once, and enums defined outside the module are not policed.
+package enumswitch
+
+import "reflect"
+
+type color uint8
+
+const (
+	red color = iota
+	green
+	blue
+
+	numColors // count sentinel: never required in switches
+)
+
+// crimson aliases red's value; covering red covers it.
+const crimson = red
+
+func exhaustive(c color) string {
+	switch c {
+	case red:
+		return "red"
+	case green:
+		return "green"
+	case blue:
+		return "blue"
+	}
+	return "?"
+}
+
+func defaulted(c color) string {
+	switch c {
+	case red:
+		return "red"
+	default:
+		return "other"
+	}
+}
+
+func missingCases(c color) string {
+	switch c {
+	case red:
+		return "red"
+	}
+	return "?"
+}
+
+// Plain integers are not enums.
+func overInt(n int) bool {
+	switch n {
+	case 0:
+		return true
+	}
+	return false
+}
+
+// reflect.Kind is an enum, but not one this module defines.
+func externalEnum(k reflect.Kind) bool {
+	switch k {
+	case reflect.Bool:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+// Package errcheck is the errcheck analyzer's fixture: call statements
+// discarding a final error result are findings unless assigned to _ or
+// writing best-effort diagnostics to os.Stderr.
+package errcheck
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func dropped(w io.Closer) {
+	w.Close()
+}
+
+func deferredDrop(w io.Closer) {
+	defer w.Close()
+}
+
+func goDrop(w io.Closer) {
+	go w.Close()
+}
+
+func silentArtifactWrite(w io.Writer, err error) {
+	fmt.Fprintf(w, "warn: %v\n", err)
+}
+
+// Explicit discard is the approved way to say "best effort".
+func explicitDiscard(w io.Closer) {
+	_ = w.Close()
+}
+
+// Propagating is obviously fine.
+func propagated(w io.Closer) error {
+	return w.Close()
+}
+
+// Diagnostics on the error path go to stderr; their own error is noise.
+func stderrDiagnostics(err error) {
+	fmt.Fprintf(os.Stderr, "warn: %v\n", err)
+}
+
+// Calls without a final error result are out of scope.
+func noErrorResult(xs []int) {
+	print(len(xs))
+}

@@ -1,0 +1,70 @@
+// Package probeguard is the probeguard analyzer's fixture: calls through
+// fields named probe/sampler must be dominated by a nil check on the exact
+// receiver, and guards must not cross function-literal boundaries.
+package probeguard
+
+type hook interface {
+	Fire(cy int64)
+}
+
+type engine struct {
+	probe   hook
+	sampler hook
+}
+
+func (e *engine) guardedThen(cy int64) {
+	if e.probe != nil {
+		e.probe.Fire(cy)
+	}
+}
+
+func (e *engine) guardedElse(cy int64) {
+	if e.probe == nil {
+		_ = cy
+	} else {
+		e.probe.Fire(cy)
+	}
+}
+
+func (e *engine) earlyOut(cy int64) {
+	if e.sampler == nil {
+		return
+	}
+	e.sampler.Fire(cy)
+}
+
+func (e *engine) conjunctionWidens(cy int64, on bool) {
+	if e.probe != nil && on {
+		e.probe.Fire(cy)
+	}
+}
+
+func (e *engine) disjunctionEarlyOut(cy int64, off bool) {
+	if e.probe == nil || off {
+		return
+	}
+	e.probe.Fire(cy)
+}
+
+func (e *engine) unguarded(cy int64) {
+	e.probe.Fire(cy)
+}
+
+func (e *engine) wrongReceiverGuard(cy int64) {
+	if e.sampler != nil {
+		e.probe.Fire(cy)
+	}
+}
+
+func (e *engine) guardDoesNotCrossClosure(cy int64) func() {
+	if e.probe != nil {
+		return func() { e.probe.Fire(cy) }
+	}
+	return nil
+}
+
+func (e *engine) disjunctionTooWeak(cy int64, on bool) {
+	if e.probe != nil || on {
+		e.probe.Fire(cy)
+	}
+}

@@ -195,6 +195,9 @@ func (e *Engine) Run() (Result, error) {
 
 // emitSample delivers a cumulative-counters snapshot to the sampler.
 func (e *Engine) emitSample(cy int64) {
+	if e.sampler == nil {
+		return
+	}
 	e.sampler.Sample(obs.Snapshot{
 		Cycle:             cy,
 		Insts:             e.res.Insts,
@@ -403,6 +406,9 @@ func (e *Engine) chargeStall(slotsIssued int, phases []chargePhase, resumeAt int
 // emitStallSegments replays a stall's attribution as contiguous
 // per-component probe segments (called only when a probe is attached).
 func (e *Engine) emitStallSegments(slotsIssued int, phases []chargePhase, resumeAt int64) {
+	if e.probe == nil {
+		return
+	}
 	w := int64(e.cfg.FetchWidth)
 	segStart := e.cy
 	var segComp metrics.Component
@@ -565,6 +571,8 @@ func (e *Engine) stepCycle() {
 			case lookupMiss:
 				e.handleRightPathMiss(line, slot)
 				return
+			case lookupHit:
+				// Fall out of the switch to the hit path below.
 			}
 			// Hit: maybe arm the next-line prefetcher.
 			if e.cfg.NextLinePrefetch && e.ic.ConsumeFirstRef(line) {
@@ -701,6 +709,8 @@ func (e *Engine) handleRightPathMiss(line uint64, slotsIssued int) {
 		if g := e.lastIssueCy + int64(e.cfg.DecodeLatency); g > gate {
 			gate = g
 		}
+	case Oracle, Optimistic, Resume:
+		// No gate: the fill starts as soon as the bus allows.
 	}
 
 	fillStart := gate

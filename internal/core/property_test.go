@@ -76,31 +76,42 @@ func TestEngineInvariantsUnderRandomConfigs(t *testing.T) {
 			if res.Traffic.WrongPathFills != 0 {
 				t.Errorf("trial %d: %s filled %d wrong-path lines", i, cfg.Policy, res.Traffic.WrongPathFills)
 			}
+		default: // the other policies may fill on wrong paths
 		}
 		switch cfg.Policy {
 		case Oracle, Optimistic, Resume:
 			if res.Lost[metrics.ForceResolve] != 0 {
 				t.Errorf("trial %d: %s charged force_resolve", i, cfg.Policy)
 			}
+		default: // Pessimistic/Decode gate fills on resolve/decode
 		}
 		switch cfg.Policy {
 		case Oracle, Resume, Pessimistic:
 			if res.Lost[metrics.WrongICache] != 0 {
 				t.Errorf("trial %d: %s charged wrong_icache", i, cfg.Policy)
 			}
+		default: // Optimistic/Decode block on wrong-path fills
 		}
 		if !cfg.NextLinePrefetch && !cfg.TargetPrefetch && cfg.StreamDepth == 0 &&
 			res.Traffic.PrefetchFills != 0 {
 			t.Errorf("trial %d: prefetch traffic without a prefetcher", i)
 		}
 
-		// Determinism: an identical rerun gives identical results.
-		res2, err := Run(cfg, bench.Image(), bench.NewReader(seed, insts*2), bpred.NewDefaultDecoupled())
+		// Determinism and accounting: an identical rerun with the invariant
+		// auditor attached gives bit-identical results, no streaming
+		// violation, and verified final identities.
+		aud := newAuditor(cfg)
+		acfg := cfg
+		acfg.Probe = aud
+		res2, err := Run(acfg, bench.Image(), bench.NewReader(seed, insts*2), bpred.NewDefaultDecoupled())
 		if err != nil {
 			t.Fatalf("trial %d rerun: %v", i, err)
 		}
 		if res != res2 {
 			t.Errorf("trial %d: nondeterministic results\ncfg %+v", i, cfg)
+		}
+		if err := aud.Verify(auditFinal(res2)); err != nil {
+			t.Errorf("trial %d: %v\ncfg %+v", i, err, cfg)
 		}
 	}
 }

@@ -160,6 +160,8 @@ func (e *Engine) wrongPathFetchCycle(wc int64, ph wpPhase, st *wpState) {
 			case lookupMiss:
 				e.handleWrongPathMiss(line, wc, ph.misfetch, st)
 				return
+			case lookupHit:
+				// Fall out of the switch to the hit path below.
 			}
 			if e.cfg.NextLinePrefetch && e.ic.ConsumeFirstRef(line) {
 				e.prefCand = line + 1

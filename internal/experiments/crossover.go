@@ -47,8 +47,8 @@ func LatencySweepData(opt Options, penalties []int) ([]LatencySweepRow, error) {
 				return nil, err
 			}
 			pt := LatencyPoint{Penalty: pen, ISPI: map[core.Policy]float64{}}
-			for pol, r := range res {
-				pt.ISPI[pol] = r.TotalISPI()
+			for _, pol := range core.Policies() {
+				pt.ISPI[pol] = res[pol].TotalISPI()
 			}
 			row.Points = append(row.Points, pt)
 			if row.Crossover == 0 && pt.ISPI[core.Pessimistic] < pt.ISPI[core.Optimistic] {

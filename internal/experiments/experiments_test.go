@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"specfetch/internal/core"
+	"specfetch/internal/metrics"
 )
 
 // quick gives every experiment a fast test configuration.
@@ -188,8 +189,8 @@ func TestFigures(t *testing.T) {
 	}
 	for _, b := range bars {
 		sum := 0.0
-		for _, v := range b.Components {
-			sum += v
+		for _, c := range metrics.Components() {
+			sum += b.Components[c]
 		}
 		if diff := sum - b.Total; diff > 1e-9 || diff < -1e-9 {
 			t.Errorf("%s/%s: components sum %.6f != total %.6f", b.Bench, b.Policy, sum, b.Total)
@@ -374,5 +375,25 @@ func TestModernStudy(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("modern study missing %q", want)
 		}
+	}
+}
+
+// TestTableRenderingDeterministic guards the map-iteration-order fixes in
+// the table builders (Table5Data/Table6Data/LatencySweepData collect
+// per-policy results from a map): building and rendering the same table
+// twice must be byte-identical.
+func TestTableRenderingDeterministic(t *testing.T) {
+	opt := quick()
+	opt.Benchmarks = []string{"gcc", "groff"}
+	first, err := Table5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Table5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Error("Table 5 renders differently across identical builds")
 	}
 }

@@ -161,8 +161,8 @@ func Table5Data(opt Options) ([]Table5Row, error) {
 				return nil, err
 			}
 			row.ISPI[depth] = map[core.Policy]float64{}
-			for pol, r := range res {
-				row.ISPI[depth][pol] = r.TotalISPI()
+			for _, pol := range core.Policies() {
+				row.ISPI[depth][pol] = res[pol].TotalISPI()
 			}
 		}
 		rows = append(rows, row)
@@ -228,8 +228,8 @@ func Table6Data(opt Options) ([]Table6Row, error) {
 			return nil, err
 		}
 		row := Table6Row{Bench: b.Profile().Name, ISPI: map[core.Policy]float64{}}
-		for pol, r := range res {
-			row.ISPI[pol] = r.TotalISPI()
+		for _, pol := range core.Policies() {
+			row.ISPI[pol] = res[pol].TotalISPI()
 		}
 		rows = append(rows, row)
 	}

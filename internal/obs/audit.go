@@ -1,0 +1,387 @@
+// The runtime counterpart of cmd/simlint: AuditProbe re-derives the paper's
+// accounting identities from the probe event stream and cross-checks them
+// against the engine's own counters. Static analysis proves the hooks are
+// wired safely; the auditor proves the numbers they report are consistent.
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"specfetch/internal/metrics"
+)
+
+// AuditError is a cycle-stamped accounting-invariant violation. Streaming
+// checks panic with one (the simulation state at that point is already
+// inconsistent); Verify returns one.
+type AuditError struct {
+	// Cycle is the simulation cycle the violation was detected at.
+	Cycle int64
+	// Check names the violated invariant (snake_case).
+	Check string
+	// Detail is the human-readable diagnosis.
+	Detail string
+}
+
+func (e *AuditError) Error() string {
+	return fmt.Sprintf("audit violation at cycle %d [%s]: %s", e.Cycle, e.Check, e.Detail)
+}
+
+// AuditOptions configures an AuditProbe for one run.
+type AuditOptions struct {
+	// Width is the machine's fetch width (Config.FetchWidth). Required.
+	Width int
+	// AllowBusOverlap disables the bus-serialization check; set it when the
+	// run uses Config.PipelinedMemory, which deliberately overlaps
+	// transfers.
+	AllowBusOverlap bool
+}
+
+// AuditFinal carries the engine counters Verify cross-checks against the
+// event stream — the relevant subset of core.Result, restated here because
+// obs must not import core.
+type AuditFinal struct {
+	Insts  int64
+	Cycles int64
+	Lost   metrics.Breakdown
+	// Traffic counters by fill kind.
+	DemandFills    uint64
+	WrongPathFills uint64
+	PrefetchFills  uint64
+}
+
+// AuditProbe is a Probe that audits the event stream while the simulation
+// runs. It maintains an independent reconstruction of the run's accounting
+// and panics with a *AuditError the moment the stream becomes inconsistent:
+//
+//   - structure: fetch cycles strictly increase, windows pair and never
+//     nest, wrong-path misses only occur inside windows, stall runs have
+//     legal extents;
+//   - bus: acquire/release alternate, transfers take time, and (without
+//     pipelined memory) never overlap;
+//   - fills: every fill completion matches an outstanding miss or an
+//     announced prefetch, and no line has two fills in flight.
+//
+// After the run, Verify cross-checks the accumulated totals against the
+// engine's Result: per-component lost slots, issued instructions, slot
+// conservation, and traffic by kind.
+//
+// The auditor is not safe for concurrent use; attach one per run.
+type AuditProbe struct {
+	opt AuditOptions
+
+	// watermark is the latest event cycle known to be "now" (fill and bus
+	// cycles are future-dated and excluded).
+	watermark int64
+
+	lastFetchCy int64
+	issuedTotal int64
+
+	stallSlots metrics.Breakdown
+
+	inWindow      bool
+	winStart      int64
+	winUntil      int64
+	winRedirected bool
+	// pendingWindows maps a window's start cycle to its nominal end: the
+	// FetchCycle event for the branch's own fetch group arrives after
+	// WindowEnd, and only then can the window's branch-component slots
+	// (width*(until-start) minus the group's issued slots) be reconstructed.
+	pendingWindows map[int64]int64
+	branchSlots    int64
+
+	busHeld       bool
+	busAcquireCy  int64
+	lastReleaseCy int64
+	busAcquires   uint64
+	busReleases   uint64
+
+	fillCounts [numFillKinds]uint64
+	// pendingFillDone maps a line to the completion cycle of its most recent
+	// fill; a second fill arriving before the watermark passes it means two
+	// transfers of the same line were in flight at once.
+	pendingFillDone map[uint64]int64
+
+	// openRPMiss / openWPMiss track demand misses awaiting their fill, per
+	// line. Right-path misses must be filled immediately (same handler);
+	// wrong-path misses may stay unserviced until the window squashes them.
+	openRPMiss map[uint64]int64
+	openWPMiss map[uint64]int64
+
+	prefetches uint64
+}
+
+// NewAuditProbe builds an auditor for one run. opt.Width must match the
+// run's Config.FetchWidth.
+func NewAuditProbe(opt AuditOptions) *AuditProbe {
+	if opt.Width < 1 {
+		panic("obs: AuditOptions.Width must be >= 1")
+	}
+	return &AuditProbe{
+		opt:             opt,
+		lastFetchCy:     -1,
+		lastReleaseCy:   -1,
+		pendingWindows:  make(map[int64]int64),
+		pendingFillDone: make(map[uint64]int64),
+		openRPMiss:      make(map[uint64]int64),
+		openWPMiss:      make(map[uint64]int64),
+	}
+}
+
+func (a *AuditProbe) violate(cy int64, check, format string, args ...any) {
+	panic(&AuditError{Cycle: cy, Check: check, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (a *AuditProbe) ground(cy int64) {
+	if cy > a.watermark {
+		a.watermark = cy
+	}
+}
+
+// FetchCycle implements Probe.
+func (a *AuditProbe) FetchCycle(cy int64, issued int) {
+	if cy <= a.lastFetchCy {
+		a.violate(cy, "fetch_cycle_order",
+			"fetch group at cycle %d does not follow the previous group at cycle %d", cy, a.lastFetchCy)
+	}
+	if issued < 0 || issued > a.opt.Width {
+		a.violate(cy, "issued_range", "fetch group issued %d instructions on a %d-wide machine",
+			issued, a.opt.Width)
+	}
+	a.lastFetchCy = cy
+	a.issuedTotal += int64(issued)
+	a.ground(cy)
+
+	if until, ok := a.pendingWindows[cy]; ok {
+		// This group ended in a redirecting branch: all of its remaining
+		// slots, plus every slot until the nominal window end, are branch
+		// penalty.
+		a.branchSlots += int64(a.opt.Width)*(until-cy) - int64(issued)
+		delete(a.pendingWindows, cy)
+	}
+}
+
+// MissStart implements Probe.
+func (a *AuditProbe) MissStart(cy int64, line uint64, wrongPath bool) {
+	a.ground(cy)
+	if wrongPath != a.inWindow {
+		a.violate(cy, "miss_path",
+			"miss on line %#x reported wrongPath=%v while inside-window=%v", line, wrongPath, a.inWindow)
+	}
+	if wrongPath {
+		a.openWPMiss[line] = cy
+		return
+	}
+	if at, open := a.openRPMiss[line]; open {
+		a.violate(cy, "miss_refill",
+			"right-path miss on line %#x while the miss from cycle %d is still unfilled", line, at)
+	}
+	a.openRPMiss[line] = cy
+}
+
+// FillComplete implements Probe.
+func (a *AuditProbe) FillComplete(cy int64, line uint64, kind FillKind) {
+	if kind >= numFillKinds {
+		a.violate(cy, "fill_kind", "unknown fill kind %d for line %#x", int(kind), line)
+	}
+	if prev, ok := a.pendingFillDone[line]; ok && prev > a.watermark {
+		a.violate(cy, "fill_inflight",
+			"line %#x fill scheduled for cycle %d while the fill completing at cycle %d is still in flight",
+			line, cy, prev)
+	}
+	a.pendingFillDone[line] = cy
+	a.fillCounts[kind]++
+
+	switch kind {
+	case FillDemand:
+		if _, open := a.openRPMiss[line]; !open {
+			a.violate(cy, "fill_unmatched", "demand fill of line %#x without an outstanding right-path miss", line)
+		}
+		delete(a.openRPMiss, line)
+	case FillWrongPath:
+		if _, open := a.openWPMiss[line]; !open {
+			a.violate(cy, "fill_unmatched", "wrong-path fill of line %#x without an outstanding wrong-path miss", line)
+		}
+		delete(a.openWPMiss, line)
+	case FillPrefetch:
+		// Matched against the Prefetch announcement count in Verify.
+	}
+}
+
+// BusAcquire implements Probe.
+func (a *AuditProbe) BusAcquire(cy int64, line uint64, kind FillKind) {
+	if a.busHeld {
+		a.violate(cy, "bus_alternation",
+			"bus acquired for line %#x while the transfer from cycle %d has not released", line, a.busAcquireCy)
+	}
+	if !a.opt.AllowBusOverlap && cy < a.lastReleaseCy {
+		a.violate(cy, "bus_overlap",
+			"transfer of line %#x starts at cycle %d, before the previous transfer releases at cycle %d",
+			line, cy, a.lastReleaseCy)
+	}
+	a.busHeld = true
+	a.busAcquireCy = cy
+	a.busAcquires++
+}
+
+// BusRelease implements Probe.
+func (a *AuditProbe) BusRelease(cy int64) {
+	if !a.busHeld {
+		a.violate(cy, "bus_alternation", "bus released without a matching acquire")
+	}
+	if cy <= a.busAcquireCy {
+		a.violate(cy, "bus_duration",
+			"transfer acquired at cycle %d releases at cycle %d; transfers take at least one cycle",
+			a.busAcquireCy, cy)
+	}
+	a.busHeld = false
+	a.lastReleaseCy = cy
+	a.busReleases++
+}
+
+// BranchResolve implements Probe.
+func (a *AuditProbe) BranchResolve(cy int64, pc uint64, taken, mispredicted bool) {}
+
+// Redirect implements Probe.
+func (a *AuditProbe) Redirect(cy int64, kind RedirectKind, resumePC uint64) {
+	if !a.inWindow {
+		a.violate(cy, "redirect", "redirect outside any misfetch/mispredict window")
+	}
+	if cy != a.winUntil {
+		a.violate(cy, "redirect",
+			"redirect at cycle %d, but the open window's nominal end is cycle %d", cy, a.winUntil)
+	}
+	a.winRedirected = true
+}
+
+// Prefetch implements Probe.
+func (a *AuditProbe) Prefetch(cy int64, line uint64, doneAt int64) {
+	if doneAt <= cy {
+		a.violate(cy, "prefetch_done",
+			"prefetch of line %#x issued at cycle %d completes at cycle %d", line, cy, doneAt)
+	}
+	a.prefetches++
+}
+
+// WindowStart implements Probe.
+func (a *AuditProbe) WindowStart(cy int64, kind RedirectKind, until int64) {
+	if a.inWindow {
+		a.violate(cy, "window_nesting",
+			"window opened at cycle %d while the window from cycle %d is still open", cy, a.winStart)
+	}
+	if until <= cy {
+		a.violate(cy, "window_extent", "window at cycle %d has nominal end %d", cy, until)
+	}
+	a.inWindow = true
+	a.winStart = cy
+	a.winUntil = until
+	a.winRedirected = false
+	a.pendingWindows[cy] = until
+	a.ground(cy)
+}
+
+// WindowEnd implements Probe.
+func (a *AuditProbe) WindowEnd(cy int64) {
+	if !a.inWindow {
+		a.violate(cy, "window_pairing", "window end without a matching window start")
+	}
+	if cy < a.winUntil {
+		a.violate(cy, "window_extent",
+			"fetch resumes at cycle %d, before the window's nominal end %d", cy, a.winUntil)
+	}
+	if !a.winRedirected {
+		a.violate(cy, "window_pairing", "window closed without a redirect back to the correct path")
+	}
+	a.inWindow = false
+	// Unserviced wrong-path misses are squashed with the window.
+	clear(a.openWPMiss)
+	a.ground(cy)
+}
+
+// Stall implements Probe.
+func (a *AuditProbe) Stall(cy, until int64, comp metrics.Component, slots int64) {
+	if comp >= metrics.NumComponents {
+		a.violate(cy, "stall_component", "stall charged to unknown component %d", int(comp))
+	}
+	if comp == metrics.Branch {
+		a.violate(cy, "stall_component",
+			"stall charged to %s; branch penalty is accounted through windows, not stalls", comp)
+	}
+	if until <= cy {
+		a.violate(cy, "stall_extent", "stall run [%d,%d) is empty", cy, until)
+	}
+	if slots <= 0 || slots > int64(a.opt.Width)*(until-cy) {
+		a.violate(cy, "stall_extent",
+			"stall run [%d,%d) charges %d slots on a %d-wide machine (max %d)",
+			cy, until, slots, a.opt.Width, int64(a.opt.Width)*(until-cy))
+	}
+	a.stallSlots[comp] += slots
+}
+
+// Verify cross-checks the stream-accumulated totals against the engine's
+// final counters. It returns nil when every identity holds, and a
+// *AuditError describing every mismatch otherwise.
+func (a *AuditProbe) Verify(f AuditFinal) error {
+	var bad []string
+	flunk := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+
+	if a.inWindow {
+		flunk("a misfetch/mispredict window opened at cycle %d never closed", a.winStart)
+	}
+	if n := len(a.pendingWindows); n != 0 {
+		flunk("%d window(s) never saw their branch group's fetch-cycle event", n)
+	}
+	if a.busHeld {
+		flunk("the bus transfer acquired at cycle %d never released", a.busAcquireCy)
+	}
+	if n := len(a.openRPMiss); n != 0 {
+		flunk("%d right-path miss(es) never received a demand fill", n)
+	}
+
+	if a.issuedTotal != f.Insts {
+		flunk("fetch groups issued %d instructions; the engine counted %d", a.issuedTotal, f.Insts)
+	}
+	if a.branchSlots != f.Lost[metrics.Branch] {
+		flunk("windows account for %d %s slots; the engine charged %d",
+			a.branchSlots, metrics.Branch, f.Lost[metrics.Branch])
+	}
+	for _, c := range metrics.Components() {
+		if c == metrics.Branch {
+			continue
+		}
+		if a.stallSlots[c] != f.Lost[c] {
+			flunk("stall runs account for %d %s slots; the engine charged %d",
+				a.stallSlots[c], c, f.Lost[c])
+		}
+	}
+	width := int64(a.opt.Width)
+	if slack := f.Cycles*width - (f.Insts + f.Lost.Total()); slack < 0 || slack >= width {
+		flunk("slot conservation broken: %d cycles x width %d = %d slots, but issued+lost = %d (slack %d)",
+			f.Cycles, width, f.Cycles*width, f.Insts+f.Lost.Total(), slack)
+	}
+
+	if a.busAcquires != a.busReleases {
+		flunk("%d bus acquires vs %d releases", a.busAcquires, a.busReleases)
+	}
+	totalFills := f.DemandFills + f.WrongPathFills + f.PrefetchFills
+	if a.busAcquires != totalFills {
+		flunk("%d bus transfers observed; the engine counted %d line fills", a.busAcquires, totalFills)
+	}
+	if a.fillCounts[FillDemand] != f.DemandFills {
+		flunk("%d demand fill completions; the engine counted %d", a.fillCounts[FillDemand], f.DemandFills)
+	}
+	if a.fillCounts[FillWrongPath] != f.WrongPathFills {
+		flunk("%d wrong-path fill completions; the engine counted %d", a.fillCounts[FillWrongPath], f.WrongPathFills)
+	}
+	if a.fillCounts[FillPrefetch] != f.PrefetchFills {
+		flunk("%d prefetch fill completions; the engine counted %d", a.fillCounts[FillPrefetch], f.PrefetchFills)
+	}
+	if a.prefetches != a.fillCounts[FillPrefetch] {
+		flunk("%d prefetch announcements vs %d prefetch fill completions", a.prefetches, a.fillCounts[FillPrefetch])
+	}
+
+	if len(bad) == 0 {
+		return nil
+	}
+	return &AuditError{Cycle: f.Cycles, Check: "final_identities", Detail: strings.Join(bad, "; ")}
+}

@@ -62,6 +62,17 @@ func profileFuncs(b *Bench, insts int64, streamSeed uint64) (map[isa.Addr]int64,
 	}
 }
 
+// sortedSites returns m's keys in ascending address order, so iterating the
+// site maps (and any remap error they surface) is reproducible.
+func sortedSites[V any](m map[isa.Addr]V) []isa.Addr {
+	keys := make([]isa.Addr, 0, len(m))
+	for a := range m {
+		keys = append(keys, a)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
 // relayout rebuilds the benchmark with functions emitted in the given order
 // (indices into the image's function list).
 func relayout(b *Bench, order []int) (*Bench, error) {
@@ -123,17 +134,19 @@ func relayout(b *Bench, order []int) (*Bench, error) {
 		return nil, fmt.Errorf("synth: rebuilding reordered image: %w", err)
 	}
 
-	// Remap the dynamic-site metadata.
+	// Remap the dynamic-site metadata, visiting sites in address order so a
+	// remap failure always reports the same (lowest) offending address.
 	newConds := make(map[isa.Addr]condMeta, len(b.conds))
-	for a, m := range b.conds {
+	for _, a := range sortedSites(b.conds) {
 		na, err := remap(a)
 		if err != nil {
 			return nil, err
 		}
-		newConds[na] = m
+		newConds[na] = b.conds[a]
 	}
 	newIndirs := make(map[isa.Addr]indirectMeta, len(b.indirs))
-	for a, m := range b.indirs {
+	for _, a := range sortedSites(b.indirs) {
+		m := b.indirs[a]
 		na, err := remap(a)
 		if err != nil {
 			return nil, err
@@ -149,12 +162,12 @@ func relayout(b *Bench, order []int) (*Bench, error) {
 		newIndirs[na] = nm
 	}
 	newGuards := make(map[isa.Addr]int, len(b.guardIdx))
-	for a, idx := range b.guardIdx {
+	for _, a := range sortedSites(b.guardIdx) {
 		na, err := remap(a)
 		if err != nil {
 			return nil, err
 		}
-		newGuards[na] = idx
+		newGuards[na] = b.guardIdx[a]
 	}
 	entry, err := remap(b.entry)
 	if err != nil {
