@@ -1,6 +1,12 @@
 // Command paperbench regenerates every table and figure of the paper's
 // evaluation section over the synthetic benchmark suite.
 //
+// Sweeps run as a work-list of independent simulation cells on a bounded
+// worker pool (-workers, default GOMAXPROCS) with a deterministic reduction:
+// the rendered tables and figures are byte-identical at every worker count.
+// -audit-sample N attaches the runtime accounting auditor to every cell,
+// checking one pipeline window in N.
+//
 // Long campaigns are observable: per-simulation progress goes to stderr
 // (silence it with -quiet), -metrics-addr serves a Prometheus /metrics
 // endpoint with campaign counters, and SIGINT reports how far the run got
@@ -13,6 +19,7 @@
 //	paperbench -figure 3 -bench gcc,groff
 //	paperbench -table 4 -csv
 //	paperbench -all -metrics-addr :9090
+//	paperbench -all -workers 8 -audit-sample 16
 package main
 
 import (
@@ -44,14 +51,30 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		quiet    = flag.Bool("quiet", false, "suppress per-simulation progress on stderr")
 		metrics  = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics (e.g. :9090)")
+		workers  = flag.Int("workers", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial); output is byte-identical at every setting")
+		auditSmp = flag.Int("audit-sample", 0, "attach the accounting auditor to every simulation, checking every Nth pipeline window (1 = every window)")
 	)
 	flag.Parse()
+
+	// With -audit-sample, a streaming invariant violation inside any worker
+	// surfaces as a panic carrying *obs.AuditError (re-thrown on this
+	// goroutine by the pool); report it as a diagnosis, not a stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			ae, ok := r.(*obs.AuditError)
+			if !ok {
+				panic(r)
+			}
+			fmt.Fprintf(os.Stderr, "paperbench: audit: %v\n", ae)
+			os.Exit(1)
+		}
+	}()
 
 	reg := obs.NewRegistry()
 	var stage atomic.Value
 	stage.Store("startup")
 
-	opt := experiments.Options{Insts: *insts, Metrics: reg}
+	opt := experiments.Options{Insts: *insts, Metrics: reg, Workers: *workers, AuditSample: *auditSmp}
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
 	}

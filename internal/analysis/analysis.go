@@ -110,11 +110,14 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// applies reports whether a runs on the package at pkgPath.
+// applies reports whether a runs on the package at pkgPath. An external
+// foo_test package (loaded under the synthetic path "<pkg>_test") is scoped
+// with its base package, so path-scoped analyzers cover every test file.
 func (a *Analyzer) applies(pkgPath string) bool {
 	if strings.Contains(pkgPath, "testdata") {
 		return true
 	}
+	pkgPath = strings.TrimSuffix(pkgPath, "_test")
 	return a.AppliesTo == nil || a.AppliesTo(pkgPath)
 }
 

@@ -62,6 +62,67 @@ func TestAnalyzerFixtures(t *testing.T) {
 	}
 }
 
+// TestExternalTestPackageFixture proves Load stands up external foo_test
+// packages: the exttest fixture's base package is clean and its only
+// finding lives in an exttest_test file, so any diagnostic at all means
+// the external unit was parsed, type-checked, and analyzed.
+func TestExternalTestPackageFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "exttest")
+	pkgs, err := Load(".", []string{dir})
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("fixture loaded %d packages, want 2 (base + external test)", len(pkgs))
+	}
+	if !strings.HasSuffix(pkgs[0].PkgPath, "/exttest") {
+		t.Fatalf("base unit path = %q, want .../exttest", pkgs[0].PkgPath)
+	}
+	if !strings.HasSuffix(pkgs[1].PkgPath, "/exttest_test") {
+		t.Fatalf("external unit path = %q, want .../exttest_test", pkgs[1].PkgPath)
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) != 0 {
+			t.Fatalf("%s: fixture does not type-check: %v", p.PkgPath, p.TypeErrors)
+		}
+	}
+
+	diags := Run(pkgs, All())
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no findings; the external test package was not analyzed")
+	}
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) != "ext_test.go" {
+			t.Errorf("finding outside the external test file: %s", d.String(""))
+		}
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String(absDir))
+		sb.WriteByte('\n')
+	}
+	got := sb.String()
+
+	golden := filepath.Join(dir, "exttest.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics diverge from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
 // TestLoadRepo checks the loader stands up the whole module offline: every
 // package parses and type-checks with stdlib imports resolved from export
 // data.

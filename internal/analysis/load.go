@@ -39,8 +39,10 @@ type Package struct {
 // relative to dir. Patterns follow the go tool's shape: a directory path,
 // or a path ending in "/..." which walks subdirectories (skipping testdata,
 // vendor, and hidden directories — name a testdata package explicitly to
-// lint it). In-package _test.go files are included; external _test packages
-// are skipped.
+// lint it). In-package _test.go files are included, and a directory's
+// external foo_test package (if any) is stood up as its own unit with
+// import path "<pkg>_test", so the analyzers see every line the test
+// binary compiles.
 //
 // Module-internal imports are type-checked from source on demand; stdlib
 // imports are served from the toolchain's compiled export data (via
@@ -68,6 +70,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		modRoot: modRoot,
 		modPath: modPath,
 		units:   map[string]*Package{},
+		parsed:  map[string]bool{},
 		loading: map[string]bool{},
 	}
 
@@ -84,14 +87,16 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 			continue
 		}
 		seen[path] = true
-		pkg, err := ld.parseDir(d, path)
+		pkg, xtest, err := ld.parseUnits(d, path)
 		if err != nil {
 			return nil, err
 		}
-		if pkg == nil {
-			continue // no buildable Go files
+		if pkg != nil {
+			selected = append(selected, pkg)
 		}
-		selected = append(selected, pkg)
+		if xtest != nil {
+			selected = append(selected, xtest)
+		}
 	}
 	if len(selected) == 0 {
 		return nil, fmt.Errorf("no Go packages match %v", patterns)
@@ -113,8 +118,12 @@ type loader struct {
 	fset    *token.FileSet
 	modRoot string
 	modPath string
-	// units memoizes parsed/checked module packages by import path.
-	units   map[string]*Package
+	// units memoizes parsed/checked module packages by import path;
+	// external test packages are filed under "<pkg>_test".
+	units map[string]*Package
+	// parsed marks directories whose files have been split into units, so
+	// a package-less directory is not re-read on every lookup.
+	parsed  map[string]bool
 	loading map[string]bool // import-cycle detection
 	// exports maps import path -> compiled export data file for packages
 	// outside the module (stdlib).
@@ -202,18 +211,29 @@ func (ld *loader) dirFor(path string) string {
 	return filepath.Join(ld.modRoot, filepath.FromSlash(strings.TrimPrefix(path, ld.modPath+"/")))
 }
 
-// parseDir parses the package in dir, keeping in-package test files and
-// dropping external (_test-suffixed) packages. Returns nil when the
-// directory has no buildable Go files.
+// parseDir parses the importable package in dir (keeping in-package test
+// files). Returns nil when the directory has no buildable Go files. Used
+// by the importer path, where a directory's external test package can
+// never be a dependency.
 func (ld *loader) parseDir(dir, path string) (*Package, error) {
-	if pkg, ok := ld.units[path]; ok {
-		return pkg, nil
+	pkg, _, err := ld.parseUnits(dir, path)
+	return pkg, err
+}
+
+// parseUnits parses every Go file in dir and splits the result into the
+// importable package and the external (_test-suffixed) test package; either
+// may be nil. The external unit gets import path "<path>_test" — it is not
+// importable, so the synthetic path cannot collide with a real dependency.
+func (ld *loader) parseUnits(dir, path string) (pkg, xtest *Package, err error) {
+	xpath := path + "_test"
+	if ld.parsed[path] {
+		return ld.units[path], ld.units[xpath], nil
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var files []*ast.File
+	var files, xfiles []*ast.File
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
@@ -222,25 +242,36 @@ func (ld *loader) parseDir(dir, path string) (*Package, error) {
 		}
 		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if strings.HasSuffix(f.Name.Name, "_test") {
-			continue // external test package: out of scope
+			xfiles = append(xfiles, f)
+		} else {
+			files = append(files, f)
 		}
-		files = append(files, f)
 	}
-	if len(files) == 0 {
-		return nil, nil
+	ld.parsed[path] = true
+	if len(files) > 0 {
+		pkg = &Package{
+			PkgPath:    path,
+			Dir:        dir,
+			ModulePath: ld.modPath,
+			Fset:       ld.fset,
+			Files:      files,
+		}
+		ld.units[path] = pkg
 	}
-	pkg := &Package{
-		PkgPath:    path,
-		Dir:        dir,
-		ModulePath: ld.modPath,
-		Fset:       ld.fset,
-		Files:      files,
+	if len(xfiles) > 0 {
+		xtest = &Package{
+			PkgPath:    xpath,
+			Dir:        dir,
+			ModulePath: ld.modPath,
+			Fset:       ld.fset,
+			Files:      xfiles,
+		}
+		ld.units[xpath] = xtest
 	}
-	ld.units[path] = pkg
-	return pkg, nil
+	return pkg, xtest, nil
 }
 
 // externalImports walks every parsed unit (transitively pre-parsing

@@ -1,0 +1,20 @@
+// The external test package: the loader must stand this up as its own
+// unit ("…/exttest_test") for the analyzers to see the findings below.
+package exttest_test
+
+import (
+	"testing"
+	"time"
+
+	"specfetch/internal/analysis/testdata/src/exttest"
+)
+
+// TestValue carries the deliberate findings: a wall-clock read
+// (determinism) hiding in an external test file.
+func TestValue(t *testing.T) {
+	start := time.Now() // finding: wall-clock read
+	if exttest.Value() != 42 {
+		t.Fatal("wrong value")
+	}
+	_ = start
+}

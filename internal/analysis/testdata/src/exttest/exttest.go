@@ -1,0 +1,9 @@
+// Package exttest is the loader fixture for external test packages: this
+// file is clean, and the deliberate findings live in the exttest_test
+// package next to it. If the loader drops external _test packages again,
+// the fixture produces no diagnostics and the test fails.
+package exttest
+
+// Value returns a fixed number so the external test has something to
+// import and check.
+func Value() int { return 42 }

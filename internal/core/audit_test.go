@@ -10,19 +10,6 @@ import (
 	"specfetch/internal/synth"
 )
 
-// auditFinal restates a Result as the counters obs.AuditProbe.Verify
-// cross-checks.
-func auditFinal(res Result) obs.AuditFinal {
-	return obs.AuditFinal{
-		Insts:          res.Insts,
-		Cycles:         res.Cycles,
-		Lost:           res.Lost,
-		DemandFills:    res.Traffic.DemandFills,
-		WrongPathFills: res.Traffic.WrongPathFills,
-		PrefetchFills:  res.Traffic.PrefetchFills,
-	}
-}
-
 func newAuditor(cfg Config) *obs.AuditProbe {
 	return obs.NewAuditProbe(obs.AuditOptions{
 		Width:           cfg.FetchWidth,
@@ -72,7 +59,7 @@ func TestAuditAllPolicies(t *testing.T) {
 				t.Errorf("%s/%s: audited run diverged from unaudited run\naudited   %+v\nunaudited %+v",
 					prof.Name, pol, audited, plain)
 			}
-			if err := aud.Verify(auditFinal(audited)); err != nil {
+			if err := aud.Verify(audited.AuditFinal()); err != nil {
 				t.Errorf("%s/%s: %v", prof.Name, pol, err)
 			}
 		}
@@ -94,12 +81,12 @@ func TestAuditDetectsInjectedAccountingBug(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := aud.Verify(auditFinal(res)); err != nil {
+	if err := aud.Verify(res.AuditFinal()); err != nil {
 		t.Fatalf("clean run flagged: %v", err)
 	}
 
 	// A bus stall double-charged by one fetch group's worth of slots.
-	bad := auditFinal(res)
+	bad := res.AuditFinal()
 	bad.Lost[metrics.Bus] += int64(cfg.FetchWidth)
 	err = aud.Verify(bad)
 	if err == nil {
@@ -109,14 +96,14 @@ func TestAuditDetectsInjectedAccountingBug(t *testing.T) {
 	}
 
 	// A dropped instruction.
-	bad = auditFinal(res)
+	bad = res.AuditFinal()
 	bad.Insts--
 	if aud.Verify(bad) == nil {
 		t.Error("dropped instruction count verified clean")
 	}
 
 	// Phantom memory traffic.
-	bad = auditFinal(res)
+	bad = res.AuditFinal()
 	bad.WrongPathFills++
 	if aud.Verify(bad) == nil {
 		t.Error("phantom wrong-path fill verified clean")

@@ -110,7 +110,7 @@ func TestEngineInvariantsUnderRandomConfigs(t *testing.T) {
 		if res != res2 {
 			t.Errorf("trial %d: nondeterministic results\ncfg %+v", i, cfg)
 		}
-		if err := aud.Verify(auditFinal(res2)); err != nil {
+		if err := aud.Verify(res2.AuditFinal()); err != nil {
 			t.Errorf("trial %d: %v\ncfg %+v", i, err, cfg)
 		}
 	}

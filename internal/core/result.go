@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"specfetch/internal/metrics"
+	"specfetch/internal/obs"
 )
 
 // Result reports everything one simulation run measured.
@@ -94,6 +95,19 @@ func (r Result) BTBMispredictISPI() float64 {
 		return 0
 	}
 	return float64(r.Events.BTBMispredictSlots) / float64(r.Insts)
+}
+
+// AuditFinal restates the counters obs.AuditProbe.Verify cross-checks, so
+// every auditor attachment site builds the same subset the same way.
+func (r Result) AuditFinal() obs.AuditFinal {
+	return obs.AuditFinal{
+		Insts:          r.Insts,
+		Cycles:         r.Cycles,
+		Lost:           r.Lost,
+		DemandFills:    r.Traffic.DemandFills,
+		WrongPathFills: r.Traffic.WrongPathFills,
+		PrefetchFills:  r.Traffic.PrefetchFills,
+	}
 }
 
 // IPC returns useful instructions per cycle.

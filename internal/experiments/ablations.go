@@ -8,12 +8,16 @@ import (
 	"specfetch/internal/core"
 	"specfetch/internal/synth"
 	"specfetch/internal/texttable"
-	"specfetch/internal/trace"
 )
 
 // The ablations quantify the design choices DESIGN.md calls out and the
 // paper's §2/§6 alternatives: prefetch scheme, BTB coupling, cache
 // associativity, fetch width, and a pipelined memory interface.
+//
+// Each ablation shards its sweep at row granularity: benchRows evaluates one
+// benchmark's cells per pool worker (the cells within a row stay serial —
+// some depend on a shared baseline), and the rows are rendered afterwards in
+// bench order, so the table bytes never depend on scheduling.
 
 // PrefetchScheme names one prefetch configuration for the ablation.
 type PrefetchScheme struct {
@@ -35,6 +39,20 @@ func PrefetchSchemes() []PrefetchScheme {
 	}
 }
 
+// renderRows runs rowFn per benchmark on the pool and adds the returned
+// cells to t in bench order.
+func renderRows(t *texttable.Table, opt Options, benches []*synth.Bench,
+	rowFn func(b *synth.Bench) ([]any, error)) (*texttable.Table, error) {
+	rows, err := benchRows(opt, benches, rowFn)
+	if err != nil {
+		return nil, err
+	}
+	for _, cells := range rows {
+		t.AddRowF(2, cells...)
+	}
+	return t, nil
+}
+
 // AblationPrefetch compares prefetch schemes under the Resume policy.
 func AblationPrefetch(opt Options) (*texttable.Table, error) {
 	benches, err := buildAll(opt)
@@ -47,7 +65,7 @@ func AblationPrefetch(opt Options) (*texttable.Table, error) {
 		headers = append(headers, s.Name+" ISPI", s.Name+" traffic")
 	}
 	t := texttable.New("Ablation: prefetch scheme (Resume policy, 8K, 5-cycle penalty)", headers...)
-	for _, b := range benches {
+	return renderRows(t, opt, benches, func(b *synth.Bench) ([]any, error) {
 		cells := []any{b.Profile().Name}
 		var baseTraffic float64
 		for i, s := range schemes {
@@ -66,9 +84,8 @@ func AblationPrefetch(opt Options) (*texttable.Table, error) {
 			}
 			cells = append(cells, res.TotalISPI(), ratio)
 		}
-		t.AddRowF(2, cells...)
-	}
-	return t, nil
+		return cells, nil
+	})
 }
 
 // AblationBTBCoupling compares the paper's decoupled branch architecture
@@ -80,9 +97,7 @@ func AblationBTBCoupling(opt Options) (*texttable.Table, error) {
 	}
 	t := texttable.New("Ablation: branch architecture (Oracle policy ISPI; decoupled gshare is the paper's baseline)",
 		"Program", "Decoupled", "Local PAg", "Coupled", "Static")
-	for _, b := range benches {
-		cfg := baseConfig(core.Oracle)
-		cfg.MaxInsts = opt.Insts
+	return renderRows(t, opt, benches, func(b *synth.Bench) ([]any, error) {
 		row := []any{b.Profile().Name}
 		for _, mk := range []func() bpred.Predictor{
 			func() bpred.Predictor { return bpred.NewDefaultDecoupled() },
@@ -102,16 +117,16 @@ func AblationBTBCoupling(opt Options) (*texttable.Table, error) {
 			},
 			func() bpred.Predictor { return bpred.Static{} },
 		} {
-			rd := trace.NewLimitReader(b.NewWalker(defaultStreamSeed), opt.Insts+opt.Insts/4)
-			res, err := core.Run(cfg, b.Image(), rd, mk())
+			cell := newCell(b, baseConfig(core.Oracle))
+			cell.pred = mk
+			res, err := simulate(cell, opt)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", b.Profile().Name, err)
 			}
 			row = append(row, res.TotalISPI())
 		}
-		t.AddRowF(2, row...)
-	}
-	return t, nil
+		return row, nil
+	})
 }
 
 // AblationAssociativity compares direct-mapped (the paper) against 2- and
@@ -123,7 +138,7 @@ func AblationAssociativity(opt Options) (*texttable.Table, error) {
 	}
 	t := texttable.New("Ablation: 8K cache associativity (Resume policy ISPI / right-path miss %)",
 		"Program", "DM", "DM miss%", "2-way", "2w miss%", "4-way", "4w miss%")
-	for _, b := range benches {
+	return renderRows(t, opt, benches, func(b *synth.Bench) ([]any, error) {
 		cells := []any{b.Profile().Name}
 		for _, assoc := range []int{1, 2, 4} {
 			cfg := baseConfig(core.Resume)
@@ -134,9 +149,8 @@ func AblationAssociativity(opt Options) (*texttable.Table, error) {
 			}
 			cells = append(cells, res.TotalISPI(), res.MissRatioPct())
 		}
-		t.AddRowF(2, cells...)
-	}
-	return t, nil
+		return cells, nil
+	})
 }
 
 // AblationFetchWidth sweeps the superscalar width (the paper fixes 4).
@@ -147,7 +161,7 @@ func AblationFetchWidth(opt Options) (*texttable.Table, error) {
 	}
 	t := texttable.New("Ablation: fetch width (Resume policy, IPC)",
 		"Program", "2-wide", "4-wide", "8-wide")
-	for _, b := range benches {
+	return renderRows(t, opt, benches, func(b *synth.Bench) ([]any, error) {
 		cells := []any{b.Profile().Name}
 		for _, w := range []int{2, 4, 8} {
 			cfg := baseConfig(core.Resume)
@@ -158,9 +172,8 @@ func AblationFetchWidth(opt Options) (*texttable.Table, error) {
 			}
 			cells = append(cells, res.IPC())
 		}
-		t.AddRowF(2, cells...)
-	}
-	return t, nil
+		return cells, nil
+	})
 }
 
 // AblationPipelinedMemory measures what removing bus contention buys the
@@ -173,7 +186,7 @@ func AblationPipelinedMemory(opt Options) (*texttable.Table, error) {
 	}
 	t := texttable.New("Ablation: pipelined memory interface (20-cycle penalty, prefetch on; ISPI)",
 		"Program", "Resume", "Resume+pipe", "Pess", "Pess+pipe")
-	for _, b := range benches {
+	return renderRows(t, opt, benches, func(b *synth.Bench) ([]any, error) {
 		cells := []any{b.Profile().Name}
 		for _, pol := range []core.Policy{core.Resume, core.Pessimistic} {
 			for _, pipe := range []bool{false, true} {
@@ -188,9 +201,8 @@ func AblationPipelinedMemory(opt Options) (*texttable.Table, error) {
 				cells = append(cells, res.TotalISPI())
 			}
 		}
-		t.AddRowF(2, cells...)
-	}
-	return t, nil
+		return cells, nil
+	})
 }
 
 // AblationRAS compares the paper's BTB-only return prediction against
@@ -202,7 +214,7 @@ func AblationRAS(opt Options) (*texttable.Table, error) {
 	}
 	t := texttable.New("Ablation: return-address stack (Oracle policy; ISPI / BTB target mispredicts per 100k insts)",
 		"Program", "no RAS", "mispred", "RAS-8", "mispred", "RAS-32", "mispred")
-	for _, b := range benches {
+	return renderRows(t, opt, benches, func(b *synth.Bench) ([]any, error) {
 		cells := []any{b.Profile().Name}
 		for _, depth := range []int{0, 8, 32} {
 			cfg := baseConfig(core.Oracle)
@@ -217,9 +229,8 @@ func AblationRAS(opt Options) (*texttable.Table, error) {
 			}
 			cells = append(cells, res.TotalISPI(), per100k)
 		}
-		t.AddRowF(2, cells...)
-	}
-	return t, nil
+		return cells, nil
+	})
 }
 
 // AblationVictimCache measures what a small fully associative victim buffer
@@ -231,7 +242,7 @@ func AblationVictimCache(opt Options) (*texttable.Table, error) {
 	}
 	t := texttable.New("Ablation: victim buffer on the 8K direct-mapped cache (Resume policy; ISPI / right-path miss %)",
 		"Program", "none", "miss%", "4 lines", "miss%", "16 lines", "miss%")
-	for _, b := range benches {
+	return renderRows(t, opt, benches, func(b *synth.Bench) ([]any, error) {
 		cells := []any{b.Profile().Name}
 		for _, lines := range []int{0, 4, 16} {
 			cfg := baseConfig(core.Resume)
@@ -242,9 +253,8 @@ func AblationVictimCache(opt Options) (*texttable.Table, error) {
 			}
 			cells = append(cells, res.TotalISPI(), res.MissRatioPct())
 		}
-		t.AddRowF(2, cells...)
-	}
-	return t, nil
+		return cells, nil
+	})
 }
 
 // AblationMSHR compares the paper's single resume/prefetch buffers against
@@ -256,7 +266,7 @@ func AblationMSHR(opt Options) (*texttable.Table, error) {
 	}
 	t := texttable.New("Ablation: non-blocking fill tracking (Resume, 20-cycle penalty, prefetch on; ISPI)",
 		"Program", "1 buf", "4 MSHR", "4 MSHR+pipe")
-	for _, b := range benches {
+	return renderRows(t, opt, benches, func(b *synth.Bench) ([]any, error) {
 		cells := []any{b.Profile().Name}
 		for _, v := range []struct {
 			mshrs int
@@ -273,9 +283,8 @@ func AblationMSHR(opt Options) (*texttable.Table, error) {
 			}
 			cells = append(cells, res.TotalISPI())
 		}
-		t.AddRowF(2, cells...)
-	}
-	return t, nil
+		return cells, nil
+	})
 }
 
 // AblationCodeLayout evaluates profile-guided function reordering — the
@@ -290,25 +299,21 @@ func AblationCodeLayout(opt Options) (*texttable.Table, error) {
 	}
 	t := texttable.New("Ablation: profile-guided code layout (Resume policy, 8K; ISPI / right-path miss %)",
 		"Program", "original", "miss%", "reordered", "miss%")
-	for _, b := range benches {
+	return renderRows(t, opt, benches, func(b *synth.Bench) ([]any, error) {
 		rb, err := synth.ReorderByProfile(b, opt.Insts, defaultStreamSeed+1)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Profile().Name, err)
 		}
 		cells := []any{b.Profile().Name}
 		for _, bench := range []*synth.Bench{b, rb} {
-			cfg := baseConfig(core.Resume)
-			cfg.MaxInsts = opt.Insts
-			rd := trace.NewLimitReader(bench.NewWalker(defaultStreamSeed), opt.Insts+opt.Insts/4)
-			res, err := core.Run(cfg, bench.Image(), rd, bpred.NewDefaultDecoupled())
+			res, err := simulate(newCell(bench, baseConfig(core.Resume)), opt)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", b.Profile().Name, err)
 			}
 			cells = append(cells, res.TotalISPI(), res.MissRatioPct())
 		}
-		t.AddRowF(2, cells...)
-	}
-	return t, nil
+		return cells, nil
+	})
 }
 
 // AblationL2 inserts a unified 64K L2 behind the paper's 8K L1 and varies
@@ -324,7 +329,7 @@ func AblationL2(opt Options) (*texttable.Table, error) {
 	l2 := cache.Config{SizeBytes: 64 * 1024, LineBytes: 32, Assoc: 4}
 	t := texttable.New("Ablation: on-chip L2 (20-cycle memory, 5-cycle L2 hits; ISPI and L2 hit rate)",
 		"Program", "Opt noL2", "Pess noL2", "Opt +L2", "Pess +L2", "L2 hit%")
-	for _, b := range benches {
+	return renderRows(t, opt, benches, func(b *synth.Bench) ([]any, error) {
 		cells := []any{b.Profile().Name}
 		var hitPct float64
 		for _, withL2 := range []bool{false, true} {
@@ -348,9 +353,8 @@ func AblationL2(opt Options) (*texttable.Table, error) {
 			}
 		}
 		cells = append(cells, hitPct)
-		t.AddRowF(2, cells...)
-	}
-	return t, nil
+		return cells, nil
+	})
 }
 
 // AblationContextSwitch flushes the I-cache at decreasing intervals
@@ -365,7 +369,7 @@ func AblationContextSwitch(opt Options) (*texttable.Table, error) {
 	intervals := []int64{0, 100_000, 20_000}
 	t := texttable.New("Ablation: context-switch flushing (Resume vs Pessimistic ISPI at flush intervals)",
 		"Program", "Res inf", "Pess inf", "Res 100k", "Pess 100k", "Res 20k", "Pess 20k")
-	for _, b := range benches {
+	return renderRows(t, opt, benches, func(b *synth.Bench) ([]any, error) {
 		cells := []any{b.Profile().Name}
 		for _, iv := range intervals {
 			for _, pol := range []core.Policy{core.Resume, core.Pessimistic} {
@@ -378,9 +382,8 @@ func AblationContextSwitch(opt Options) (*texttable.Table, error) {
 				cells = append(cells, res.TotalISPI())
 			}
 		}
-		t.AddRowF(2, cells...)
-	}
-	return t, nil
+		return cells, nil
+	})
 }
 
 // Ablations maps names to runners (used by cmd/paperbench -ablation).
@@ -395,7 +398,7 @@ func Ablations() map[string]func(Options) (*texttable.Table, error) {
 		"victim":        AblationVictimCache,
 		"mshr":          AblationMSHR,
 		"layout":        AblationCodeLayout,
-		"l2":            AblationL2,
 		"ctxswitch":     AblationContextSwitch,
+		"l2":            AblationL2,
 	}
 }

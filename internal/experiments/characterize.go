@@ -6,7 +6,6 @@ package experiments
 import (
 	"fmt"
 
-	"specfetch/internal/bpred"
 	"specfetch/internal/cache"
 	"specfetch/internal/core"
 	"specfetch/internal/isa"
@@ -28,15 +27,10 @@ func baseConfig(pol core.Policy) core.Config {
 
 // runBench runs one simulation over a synthetic benchmark with a fresh
 // predictor and the options' instruction budget, reporting the finished run
-// to the options' progress/metrics sinks.
+// to the options' progress/metrics sinks (and auditing it when
+// Options.AuditSample asks for that).
 func runBench(b *synth.Bench, cfg core.Config, opt Options) (core.Result, error) {
-	cfg.MaxInsts = opt.Insts
-	rd := trace.NewLimitReader(b.NewWalker(defaultStreamSeed), opt.Insts+opt.Insts/4)
-	res, err := core.Run(cfg, b.Image(), rd, bpred.NewDefaultDecoupled())
-	if err == nil {
-		opt.observe(b.Profile().Name, cfg.Policy, res)
-	}
-	return res, err
+	return simulate(newCell(b, cfg), opt)
 }
 
 // defaultStreamSeed keeps all experiments on the same dynamic stream per
@@ -63,48 +57,71 @@ type Characterization struct {
 	StaticInsts int
 }
 
+// characterizeCells flattens the characterization's three simulations per
+// benchmark (8K baseline, 32K cache, depth-1 speculation) into one work-list,
+// bench-major so cell 3i..3i+2 belong to benches[i].
+func characterizeCells(benches []*synth.Bench) []runCell {
+	cells := make([]runCell, 0, 3*len(benches))
+	for _, b := range benches {
+		cfg32 := baseConfig(core.Oracle)
+		cfg32.ICache = cacheConfig(32 * 1024)
+		cfgB1 := baseConfig(core.Oracle)
+		cfgB1.MaxUnresolved = 1
+		cells = append(cells,
+			newCell(b, baseConfig(core.Oracle)),
+			newCell(b, cfg32),
+			newCell(b, cfgB1))
+	}
+	return cells
+}
+
+// characterizeMany measures every benchmark over one flat work-list plus a
+// per-bench trace scan, then reduces the results in bench order.
+func characterizeMany(benches []*synth.Bench, opt Options) ([]Characterization, error) {
+	results, err := runCells(opt, characterizeCells(benches))
+	if err != nil {
+		return nil, err
+	}
+	scans, err := benchRows(opt, benches, func(b *synth.Bench) (trace.Stats, error) {
+		st, err := trace.Scan(trace.NewLimitReader(b.NewWalker(defaultStreamSeed), opt.Insts))
+		if err != nil {
+			return st, fmt.Errorf("scanning %s: %w", b.Profile().Name, err)
+		}
+		return st, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Characterization, len(benches))
+	for i, b := range benches {
+		c := Characterization{
+			Name:        b.Profile().Name,
+			Lang:        b.Profile().Lang,
+			StaticInsts: b.Image().NumInsts(),
+		}
+		st := scans[i]
+		c.BranchPct = 100 * st.BranchFrac()
+		if st.Insts > 0 {
+			c.CondPct = 100 * float64(st.Conditionals) / float64(st.Insts)
+		}
+		res8, res32, resB1 := results[3*i], results[3*i+1], results[3*i+2]
+		c.Miss8K = res8.MissRatioPct()
+		c.PHTISPIB4 = res8.PHTMispredictISPI()
+		c.BTBMisfetchISPI = res8.BTBMisfetchISPI()
+		c.BTBMispredictISPI = res8.BTBMispredictISPI()
+		c.Miss32K = res32.MissRatioPct()
+		c.PHTISPIB1 = resB1.PHTMispredictISPI()
+		out[i] = c
+	}
+	return out, nil
+}
+
 // Characterize measures a benchmark over the options' instruction budget.
 func Characterize(b *synth.Bench, opt Options) (Characterization, error) {
-	c := Characterization{
-		Name:        b.Profile().Name,
-		Lang:        b.Profile().Lang,
-		StaticInsts: b.Image().NumInsts(),
-	}
-
-	st, err := trace.Scan(trace.NewLimitReader(b.NewWalker(defaultStreamSeed), opt.Insts))
+	cs, err := characterizeMany([]*synth.Bench{b}, opt)
 	if err != nil {
-		return c, fmt.Errorf("scanning %s: %w", c.Name, err)
+		return Characterization{}, err
 	}
-	c.BranchPct = 100 * st.BranchFrac()
-	if st.Insts > 0 {
-		c.CondPct = 100 * float64(st.Conditionals) / float64(st.Insts)
-	}
-
-	cfg8 := baseConfig(core.Oracle)
-	res8, err := runBench(b, cfg8, opt)
-	if err != nil {
-		return c, err
-	}
-	c.Miss8K = res8.MissRatioPct()
-	c.PHTISPIB4 = res8.PHTMispredictISPI()
-	c.BTBMisfetchISPI = res8.BTBMisfetchISPI()
-	c.BTBMispredictISPI = res8.BTBMispredictISPI()
-
-	cfg32 := baseConfig(core.Oracle)
-	cfg32.ICache = cacheConfig(32 * 1024)
-	res32, err := runBench(b, cfg32, opt)
-	if err != nil {
-		return c, err
-	}
-	c.Miss32K = res32.MissRatioPct()
-
-	cfgB1 := baseConfig(core.Oracle)
-	cfgB1.MaxUnresolved = 1
-	resB1, err := runBench(b, cfgB1, opt)
-	if err != nil {
-		return c, err
-	}
-	c.PHTISPIB1 = resB1.PHTMispredictISPI()
-
-	return c, nil
+	return cs[0], nil
 }

@@ -36,26 +36,38 @@ func LatencySweepData(opt Options, penalties []int) ([]LatencySweepRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]LatencySweepRow, 0, len(benches))
+	// One flat work-list of bench x penalty x policy cells.
+	pols := core.Policies()
+	var cells []runCell
 	for _, b := range benches {
+		for _, pen := range penalties {
+			for _, pol := range pols {
+				cfg := baseConfig(pol)
+				cfg.MissPenalty = pen
+				cells = append(cells, newCell(b, cfg))
+			}
+		}
+	}
+	results, err := runCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]LatencySweepRow, len(benches))
+	i := 0
+	for bi, b := range benches {
 		row := LatencySweepRow{Bench: b.Profile().Name}
 		for _, pen := range penalties {
-			cfg := baseConfig(core.Oracle)
-			cfg.MissPenalty = pen
-			res, err := runPolicies(b, cfg, opt, core.Policies())
-			if err != nil {
-				return nil, err
-			}
 			pt := LatencyPoint{Penalty: pen, ISPI: map[core.Policy]float64{}}
-			for _, pol := range core.Policies() {
-				pt.ISPI[pol] = res[pol].TotalISPI()
+			for _, pol := range pols {
+				pt.ISPI[pol] = results[i].TotalISPI()
+				i++
 			}
 			row.Points = append(row.Points, pt)
 			if row.Crossover == 0 && pt.ISPI[core.Pessimistic] < pt.ISPI[core.Optimistic] {
 				row.Crossover = pen
 			}
 		}
-		rows = append(rows, row)
+		rows[bi] = row
 	}
 	return rows, nil
 }

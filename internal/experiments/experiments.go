@@ -2,10 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"specfetch/internal/core"
 	"specfetch/internal/obs"
@@ -18,6 +15,15 @@ type Options struct {
 	Insts int64
 	// Benchmarks restricts the run to these profile names (nil = all 13).
 	Benchmarks []string
+	// Workers bounds the sweep executor's worker pool: 0 means GOMAXPROCS,
+	// 1 runs every cell serially on the calling goroutine. Rendered tables
+	// and figures are byte-identical at every worker count; see shard.go.
+	Workers int
+	// AuditSample, when positive, attaches a sampled obs.AuditProbe to every
+	// simulation in the sweep (SampleEvery = AuditSample; 1 audits every
+	// region). Stream violations panic with a cycle-stamped *obs.AuditError,
+	// and each run's final accounting identities are verified.
+	AuditSample int
 	// Progress, if non-nil, receives a one-line message after each completed
 	// simulation. Runs execute on worker goroutines, so it may be called
 	// concurrently.
@@ -85,35 +91,21 @@ func buildAll(opt Options) ([]*synth.Bench, error) {
 	if err != nil {
 		return nil, err
 	}
-	benches := make([]*synth.Bench, len(profs))
-	err = parallelFor(len(profs), func(i int) error {
-		b, err := synth.Build(profs[i])
-		if err != nil {
-			return err
-		}
-		benches[i] = b
-		return nil
+	return mapCells(opt, len(profs), func(i int) (*synth.Bench, error) {
+		return synth.Build(profs[i])
 	})
-	if err != nil {
-		return nil, err
-	}
-	return benches, nil
 }
 
 // runPolicies simulates every listed policy over the benchmark under cfg
 // (fresh cache and predictor per run, same trace stream).
 func runPolicies(b *synth.Bench, cfg core.Config, opt Options, policies []core.Policy) (map[core.Policy]core.Result, error) {
-	results := make([]core.Result, len(policies))
-	err := parallelFor(len(policies), func(i int) error {
+	cells := make([]runCell, len(policies))
+	for i, pol := range policies {
 		c := cfg
-		c.Policy = policies[i]
-		res, err := runBench(b, c, opt)
-		if err != nil {
-			return fmt.Errorf("%s/%s: %w", b.Profile().Name, policies[i], err)
-		}
-		results[i] = res
-		return nil
-	})
+		c.Policy = pol
+		cells[i] = newCell(b, c)
+	}
+	results, err := runCells(opt, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -138,50 +130,3 @@ func mean(xs []float64) float64 {
 
 // buildAllFromProfile generates one benchmark (test helper).
 func buildAllFromProfile(p synth.Profile) (*synth.Bench, error) { return synth.Build(p) }
-
-// parallelFor runs fn(i) for i in [0,n) on up to GOMAXPROCS goroutines and
-// returns the first error. Simulation runs are independent (each builds its
-// own engine, cache, and predictor over read-only benchmark state), so the
-// heavy sweeps parallelize cleanly; results are written to index i, keeping
-// output deterministic regardless of scheduling.
-func parallelFor(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg   sync.WaitGroup
-		next int64 = -1
-		mu   sync.Mutex
-		err  error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				if e := fn(i); e != nil {
-					mu.Lock()
-					if err == nil {
-						err = e
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return err
-}

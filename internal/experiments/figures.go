@@ -3,6 +3,7 @@ package experiments
 import (
 	"specfetch/internal/core"
 	"specfetch/internal/metrics"
+	"specfetch/internal/synth"
 	"specfetch/internal/texttable"
 )
 
@@ -31,30 +32,32 @@ func FigureData(opt Options, missPenalty int, policies []core.Policy, prefetch [
 		return nil, err
 	}
 	type job struct {
-		bench int
+		bench *synth.Bench
 		pol   core.Policy
 		pref  bool
 	}
 	var jobs []job
-	for bi := range benches {
+	var cells []runCell
+	for _, b := range benches {
 		for _, pol := range policies {
 			for _, pref := range prefetch {
-				jobs = append(jobs, job{bench: bi, pol: pol, pref: pref})
+				cfg := baseConfig(pol)
+				cfg.MissPenalty = missPenalty
+				cfg.NextLinePrefetch = pref
+				jobs = append(jobs, job{bench: b, pol: pol, pref: pref})
+				cells = append(cells, newCell(b, cfg))
 			}
 		}
 	}
+	results, err := runCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
 	bars := make([]Breakdown, len(jobs))
-	err = parallelFor(len(jobs), func(i int) error {
-		j := jobs[i]
-		cfg := baseConfig(j.pol)
-		cfg.MissPenalty = missPenalty
-		cfg.NextLinePrefetch = j.pref
-		res, err := runBench(benches[j.bench], cfg, opt)
-		if err != nil {
-			return err
-		}
+	for i, j := range jobs {
+		res := results[i]
 		bd := Breakdown{
-			Bench:      benches[j.bench].Profile().Name,
+			Bench:      j.bench.Profile().Name,
 			Policy:     j.pol,
 			Prefetch:   j.pref,
 			Components: map[metrics.Component]float64{},
@@ -64,10 +67,6 @@ func FigureData(opt Options, missPenalty int, policies []core.Policy, prefetch [
 			bd.Components[c] = res.ISPI(c)
 		}
 		bars[i] = bd
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	return bars, nil
 }

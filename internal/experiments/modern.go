@@ -3,64 +3,59 @@ package experiments
 import (
 	"fmt"
 
-	"specfetch/internal/bpred"
 	"specfetch/internal/cache"
 	"specfetch/internal/core"
 	"specfetch/internal/isa"
 	"specfetch/internal/synth"
 	"specfetch/internal/texttable"
-	"specfetch/internal/trace"
 )
 
 // ModernStudy asks whether the paper's 1995 conclusions survive
 // datacenter-scale instruction footprints: it runs the five policies over
 // the modern workload stand-ins (web/db/search, footprints ~10-20× SPEC92's)
-// across cache sizes, at both the low and high miss penalty.
+// across cache sizes, at both the low and high miss penalty, as one flat
+// work-list of bench x cache x penalty x policy cells.
 func ModernStudy(opt Options) (*texttable.Table, error) {
 	profiles := synth.ModernProfiles()
-	benches := make([]*synth.Bench, len(profiles))
-	if err := parallelFor(len(profiles), func(i int) error {
-		b, err := synth.Build(profiles[i])
-		if err != nil {
-			return err
-		}
-		benches[i] = b
-		return nil
-	}); err != nil {
+	benches, err := mapCells(opt, len(profiles), func(i int) (*synth.Bench, error) {
+		return synth.Build(profiles[i])
+	})
+	if err != nil {
 		return nil, err
 	}
 
 	cacheSizes := []int{8 * 1024, 32 * 1024, 64 * 1024}
 	penalties := []int{5, 20}
+	pols := core.Policies()
 
-	t := texttable.New("Modern-footprint study: does the 1995 verdict hold at datacenter scale? (total ISPI)",
-		"Program", "KB", "cache", "penalty", "Oracle", "Opt", "Res", "Pess", "Dec", "miss%", "verdict")
+	var cells []runCell
 	for _, b := range benches {
 		for _, cs := range cacheSizes {
 			for _, pen := range penalties {
-				cfg := baseConfig(core.Oracle)
-				cfg.ICache = cache.Config{SizeBytes: cs, LineBytes: isa.DefaultLineBytes, Assoc: 1}
-				cfg.MissPenalty = pen
-				cfg.MaxInsts = opt.Insts
-				results := make([]core.Result, len(core.Policies()))
-				pols := core.Policies()
-				if err := parallelFor(len(pols), func(i int) error {
-					c := cfg
-					c.Policy = pols[i]
-					rd := trace.NewLimitReader(b.NewWalker(defaultStreamSeed), opt.Insts+opt.Insts/4)
-					res, err := core.Run(c, b.Image(), rd, bpred.NewDefaultDecoupled())
-					if err != nil {
-						return fmt.Errorf("%s: %w", b.Profile().Name, err)
-					}
-					opt.observe(b.Profile().Name, c.Policy, res)
-					results[i] = res
-					return nil
-				}); err != nil {
-					return nil, err
+				for _, pol := range pols {
+					cfg := baseConfig(pol)
+					cfg.ICache = cache.Config{SizeBytes: cs, LineBytes: isa.DefaultLineBytes, Assoc: 1}
+					cfg.MissPenalty = pen
+					cells = append(cells, newCell(b, cfg))
 				}
+			}
+		}
+	}
+	results, err := runCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	t := texttable.New("Modern-footprint study: does the 1995 verdict hold at datacenter scale? (total ISPI)",
+		"Program", "KB", "cache", "penalty", "Oracle", "Opt", "Res", "Pess", "Dec", "miss%", "verdict")
+	i := 0
+	for _, b := range benches {
+		for _, cs := range cacheSizes {
+			for _, pen := range penalties {
 				byPol := map[core.Policy]core.Result{}
-				for i, p := range pols {
-					byPol[p] = results[i]
+				for _, pol := range pols {
+					byPol[pol] = results[i]
+					i++
 				}
 				verdict := "aggressive"
 				if byPol[core.Pessimistic].TotalISPI() < byPol[core.Optimistic].TotalISPI() {

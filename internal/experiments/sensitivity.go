@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"specfetch/internal/bpred"
 	"specfetch/internal/core"
 	"specfetch/internal/texttable"
-	"specfetch/internal/trace"
 )
 
 // SeedStats summarizes one policy's ISPI across dynamic stream seeds.
@@ -56,25 +54,36 @@ func SeedSensitivityData(opt Options, seeds int) ([]SeedSensitivityRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]SeedSensitivityRow, 0, len(benches))
+	// One flat work-list of bench x policy x seed cells, each on its own
+	// dynamic stream.
+	pols := core.Policies()
+	var cells []runCell
 	for _, b := range benches {
+		for _, pol := range pols {
+			for s := 0; s < seeds; s++ {
+				c := newCell(b, baseConfig(pol))
+				c.seed = uint64(1000 + s)
+				cells = append(cells, c)
+			}
+		}
+	}
+	results, err := runCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SeedSensitivityRow, len(benches))
+	i := 0
+	for bi, b := range benches {
 		row := SeedSensitivityRow{Bench: b.Profile().Name, Stats: map[core.Policy]SeedStats{}}
-		for _, pol := range core.Policies() {
+		for _, pol := range pols {
 			samples := make([]float64, 0, seeds)
 			for s := 0; s < seeds; s++ {
-				cfg := baseConfig(pol)
-				cfg.MaxInsts = opt.Insts
-				rd := trace.NewLimitReader(b.NewWalker(uint64(1000+s)), opt.Insts+opt.Insts/4)
-				res, err := core.Run(cfg, b.Image(), rd, bpred.NewDefaultDecoupled())
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s seed %d: %w", b.Profile().Name, pol, s, err)
-				}
-				opt.observe(b.Profile().Name, pol, res)
-				samples = append(samples, res.TotalISPI())
+				samples = append(samples, results[i].TotalISPI())
+				i++
 			}
 			row.Stats[pol] = describe(samples)
 		}
-		rows = append(rows, row)
+		rows[bi] = row
 	}
 	return rows, nil
 }

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"specfetch/internal/bpred"
+	"specfetch/internal/core"
+	"specfetch/internal/obs"
+	"specfetch/internal/synth"
+	"specfetch/internal/trace"
+)
+
+// The sweep executor. Every table, figure, and study in this package is the
+// same shape: an explicit work-list of independent cells (one benchmark
+// simulated under one configuration), executed on a bounded worker pool, then
+// reduced serially in work-list order. Because cell i's result lands in slot
+// i and the reduction never looks at completion order, rendered artifacts are
+// byte-identical to a serial run regardless of scheduling.
+
+// workers resolves Options.Workers: 0 means GOMAXPROCS, anything below 1
+// after that means serial.
+func (opt Options) workers() int {
+	w := opt.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// cellFailure records the lowest-indexed cell that errored or panicked.
+type cellFailure struct {
+	idx     int
+	err     error
+	payload any
+	isPanic bool
+}
+
+// pool runs fn(i) for i in [0,n) on up to opt.workers() goroutines. Cell
+// indexes are dispensed in increasing order; after a cell fails, no new cell
+// is started, already-running cells finish, and the pool drains before
+// reporting. The failure surfaced is the one with the smallest index — and
+// that is deterministic: indexes are handed out in order, so the smallest
+// failing index is always dispatched (and therefore observed) no matter how
+// the scheduler interleaves the workers. A panicking cell (e.g. an
+// *obs.AuditError from a sampled audit) is re-panicked on the caller's
+// goroutine with its original value once the pool has drained.
+func pool(opt Options, n int, fn func(i int) error) error {
+	workers := opt.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+		stop atomic.Bool
+		mu   sync.Mutex
+		fail *cellFailure
+	)
+	next.Store(-1)
+	record := func(f cellFailure) {
+		mu.Lock()
+		if fail == nil || f.idx < fail.idx {
+			fail = &f
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				record(cellFailure{idx: i, payload: r, isPanic: true})
+			}
+		}()
+		if err := fn(i); err != nil {
+			record(cellFailure{idx: i, err: err})
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if fail == nil {
+		return nil
+	}
+	if fail.isPanic {
+		panic(fail.payload)
+	}
+	return fail.err
+}
+
+// mapCells runs fn over [0,n) on the pool and returns the index-keyed
+// results — the deterministic reduction every builder hangs off.
+func mapCells[T any](opt Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := pool(opt, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// benchRows evaluates fn once per benchmark on the pool, preserving bench
+// order. Builders whose row needs several dependent simulations (the
+// ablations) shard at this granularity; fn runs its own cells serially.
+func benchRows[T any](opt Options, benches []*synth.Bench, fn func(b *synth.Bench) (T, error)) ([]T, error) {
+	return mapCells(opt, len(benches), func(i int) (T, error) { return fn(benches[i]) })
+}
+
+// runCell is one independent unit of sweep work: one benchmark simulated
+// under one configuration over one dynamic stream.
+type runCell struct {
+	bench *synth.Bench
+	cfg   core.Config
+	seed  uint64
+	// pred overrides the default decoupled predictor (nil = default); used
+	// by the branch-architecture ablation.
+	pred func() bpred.Predictor
+}
+
+// newCell builds a cell on the experiments' shared stream seed.
+func newCell(b *synth.Bench, cfg core.Config) runCell {
+	return runCell{bench: b, cfg: cfg, seed: defaultStreamSeed}
+}
+
+// runCells executes a work-list on the pool and returns results keyed by
+// cell index.
+func runCells(opt Options, cells []runCell) ([]core.Result, error) {
+	return mapCells(opt, len(cells), func(i int) (core.Result, error) {
+		res, err := simulate(cells[i], opt)
+		if err != nil {
+			return core.Result{}, fmt.Errorf("%s/%s: %w",
+				cells[i].bench.Profile().Name, cells[i].cfg.Policy, err)
+		}
+		return res, nil
+	})
+}
+
+// simulate runs one cell with a fresh engine, cache, and predictor. With
+// Options.AuditSample > 0 it attaches a sampled obs.AuditProbe to the run:
+// stream violations panic (the pool re-surfaces them), and the final
+// accounting identities are verified before the result is accepted.
+func simulate(c runCell, opt Options) (core.Result, error) {
+	cfg := c.cfg
+	cfg.MaxInsts = opt.Insts
+	var aud *obs.AuditProbe
+	if opt.AuditSample > 0 {
+		aud = obs.NewAuditProbe(obs.AuditOptions{
+			Width:           cfg.FetchWidth,
+			AllowBusOverlap: cfg.PipelinedMemory,
+			SampleEvery:     opt.AuditSample,
+		})
+		if cfg.Probe != nil {
+			cfg.Probe = obs.Multi(cfg.Probe, aud)
+		} else {
+			cfg.Probe = aud
+		}
+	}
+	var pred bpred.Predictor
+	if c.pred != nil {
+		pred = c.pred()
+	} else {
+		pred = bpred.NewDefaultDecoupled()
+	}
+	rd := trace.NewLimitReader(c.bench.NewWalker(c.seed), opt.Insts+opt.Insts/4)
+	res, err := core.Run(cfg, c.bench.Image(), rd, pred)
+	if err != nil {
+		return res, err
+	}
+	if aud != nil {
+		if verr := aud.Verify(res.AuditFinal()); verr != nil {
+			return res, verr
+		}
+	}
+	opt.observe(c.bench.Profile().Name, cfg.Policy, res)
+	return res, nil
+}

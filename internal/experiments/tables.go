@@ -18,17 +18,19 @@ func Table2(opt Options) (*texttable.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	stats, err := benchRows(opt, benches, func(b *synth.Bench) (trace.Stats, error) {
+		return trace.Scan(b.NewReader(defaultStreamSeed, opt.Insts))
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := texttable.New("Table 2: benchmark inventory (synthetic stand-ins)",
 		"Program", "Lang", "Static KB", "%Branches", "Paper %Br", "Description")
-	for _, b := range benches {
+	for i, b := range benches {
 		p := b.Profile()
-		st, err := trace.Scan(b.NewReader(defaultStreamSeed, opt.Insts))
-		if err != nil {
-			return nil, err
-		}
 		t.AddRowF(1, p.Name, string(p.Lang),
 			float64(b.Image().SizeBytes())/1024,
-			100*st.BranchFrac(), synth.PaperTargets[p.Name].BranchPct, p.Description)
+			100*stats[i].BranchFrac(), synth.PaperTargets[p.Name].BranchPct, p.Description)
 	}
 	return t, nil
 }
@@ -45,13 +47,13 @@ func Table3Data(opt Options) ([]Table3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Table3Row, 0, len(benches))
-	for _, b := range benches {
-		c, err := Characterize(b, opt)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table3Row{Characterization: c, Paper: synth.PaperTargets[c.Name]})
+	chars, err := characterizeMany(benches, opt)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table3Row, len(chars))
+	for i, c := range chars {
+		rows[i] = Table3Row{Characterization: c, Paper: synth.PaperTargets[c.Name]}
 	}
 	return rows, nil
 }
@@ -97,20 +99,17 @@ func Table4Data(opt Options) ([]Table4Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Table4Row, 0, len(benches))
-	for _, b := range benches {
-		b := b
+	return benchRows(opt, benches, func(b *synth.Bench) (Table4Row, error) {
 		cfg := baseConfig(core.Oracle)
 		cfg.MaxInsts = opt.Insts
 		cat, err := classify.Run(cfg, b.Image(),
 			func() trace.Reader { return b.NewReader(defaultStreamSeed, opt.Insts+opt.Insts/4) },
 			func() bpred.Predictor { return bpred.NewDefaultDecoupled() })
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Profile().Name, err)
+			return Table4Row{}, fmt.Errorf("%s: %w", b.Profile().Name, err)
 		}
-		rows = append(rows, Table4Row{Bench: b.Profile().Name, Categories: cat})
-	}
-	return rows, nil
+		return Table4Row{Bench: b.Profile().Name, Categories: cat}, nil
+	})
 }
 
 // Table4 reproduces the miss-ratio categorization table.
@@ -144,28 +143,40 @@ type Table5Row struct {
 // Table5Depths are the speculation depths the paper sweeps.
 var Table5Depths = []int{1, 2, 4}
 
-// Table5Data sweeps speculation depth on the baseline 8K/5-cycle machine.
+// Table5Data sweeps speculation depth on the baseline 8K/5-cycle machine:
+// one flat work-list of bench x depth x policy cells.
 func Table5Data(opt Options) ([]Table5Row, error) {
 	benches, err := buildAll(opt)
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Table5Row, 0, len(benches))
+	pols := core.Policies()
+	var cells []runCell
 	for _, b := range benches {
-		row := Table5Row{Bench: b.Profile().Name, ISPI: map[int]map[core.Policy]float64{}}
 		for _, depth := range Table5Depths {
-			cfg := baseConfig(core.Oracle)
-			cfg.MaxUnresolved = depth
-			res, err := runPolicies(b, cfg, opt, core.Policies())
-			if err != nil {
-				return nil, err
-			}
-			row.ISPI[depth] = map[core.Policy]float64{}
-			for _, pol := range core.Policies() {
-				row.ISPI[depth][pol] = res[pol].TotalISPI()
+			for _, pol := range pols {
+				cfg := baseConfig(pol)
+				cfg.MaxUnresolved = depth
+				cells = append(cells, newCell(b, cfg))
 			}
 		}
-		rows = append(rows, row)
+	}
+	results, err := runCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table5Row, len(benches))
+	i := 0
+	for bi, b := range benches {
+		row := Table5Row{Bench: b.Profile().Name, ISPI: map[int]map[core.Policy]float64{}}
+		for _, depth := range Table5Depths {
+			row.ISPI[depth] = map[core.Policy]float64{}
+			for _, pol := range pols {
+				row.ISPI[depth][pol] = results[i].TotalISPI()
+				i++
+			}
+		}
+		rows[bi] = row
 	}
 	return rows, nil
 }
@@ -213,25 +224,33 @@ type Table6Row struct {
 	ISPI  map[core.Policy]float64
 }
 
-// Table6Data measures the policies on the 32K cache at depth 4.
+// Table6Data measures the policies on the 32K cache at depth 4: one flat
+// work-list of bench x policy cells.
 func Table6Data(opt Options) ([]Table6Row, error) {
 	benches, err := buildAll(opt)
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Table6Row, 0, len(benches))
+	pols := core.Policies()
+	var cells []runCell
 	for _, b := range benches {
-		cfg := baseConfig(core.Oracle)
-		cfg.ICache = cacheConfig(32 * 1024)
-		res, err := runPolicies(b, cfg, opt, core.Policies())
-		if err != nil {
-			return nil, err
+		for _, pol := range pols {
+			cfg := baseConfig(pol)
+			cfg.ICache = cacheConfig(32 * 1024)
+			cells = append(cells, newCell(b, cfg))
 		}
+	}
+	results, err := runCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table6Row, len(benches))
+	for bi, b := range benches {
 		row := Table6Row{Bench: b.Profile().Name, ISPI: map[core.Policy]float64{}}
-		for _, pol := range core.Policies() {
-			row.ISPI[pol] = res[pol].TotalISPI()
+		for pi, pol := range pols {
+			row.ISPI[pol] = results[bi*len(pols)+pi].TotalISPI()
 		}
-		rows = append(rows, row)
+		rows[bi] = row
 	}
 	return rows, nil
 }
@@ -276,33 +295,38 @@ type Table7Row struct {
 // Table7Policies are the policies the paper reports traffic for.
 var Table7Policies = []core.Policy{core.Oracle, core.Resume, core.Pessimistic}
 
-// Table7Data measures prefetch traffic ratios on the baseline machine.
+// Table7Data measures prefetch traffic ratios on the baseline machine. The
+// work-list interleaves each benchmark's unprefetched Oracle baseline with
+// its prefetching runs (stride 1+len(Table7Policies)).
 func Table7Data(opt Options) ([]Table7Row, error) {
 	benches, err := buildAll(opt)
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Table7Row, 0, len(benches))
+	stride := 1 + len(Table7Policies)
+	var cells []runCell
 	for _, b := range benches {
-		baseCfg := baseConfig(core.Oracle)
-		baseRes, err := runBench(b, baseCfg, opt)
-		if err != nil {
-			return nil, err
-		}
-		denom := float64(baseRes.Traffic.Total())
-		row := Table7Row{Bench: b.Profile().Name, Ratio: map[core.Policy]float64{}}
+		cells = append(cells, newCell(b, baseConfig(core.Oracle)))
 		for _, pol := range Table7Policies {
 			cfg := baseConfig(pol)
 			cfg.NextLinePrefetch = true
-			res, err := runBench(b, cfg, opt)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, newCell(b, cfg))
+		}
+	}
+	results, err := runCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table7Row, len(benches))
+	for bi, b := range benches {
+		denom := float64(results[bi*stride].Traffic.Total())
+		row := Table7Row{Bench: b.Profile().Name, Ratio: map[core.Policy]float64{}}
+		for pi, pol := range Table7Policies {
 			if denom > 0 {
-				row.Ratio[pol] = float64(res.Traffic.Total()) / denom
+				row.Ratio[pol] = float64(results[bi*stride+1+pi].Traffic.Total()) / denom
 			}
 		}
-		rows = append(rows, row)
+		rows[bi] = row
 	}
 	return rows, nil
 }

@@ -35,6 +35,26 @@ type AuditOptions struct {
 	// run uses Config.PipelinedMemory, which deliberately overlaps
 	// transfers.
 	AllowBusOverlap bool
+	// SampleEvery, when greater than 1, switches the auditor to sampled
+	// mode: the per-event stream-structure checks (fetch ordering, miss/fill
+	// matching, in-flight fill tracking, bus alternation/overlap/duration)
+	// run for one in every SampleEvery inter-window regions — the stretches
+	// of stream delimited by speculation-window closures. A violation inside
+	// a skipped region is not caught; one inside a sampled region still
+	// panics with a cycle-stamped *AuditError.
+	//
+	// The O(1) accumulators (issued instructions, per-component stall and
+	// branch slots, fill/bus/prefetch counts) and the window state machine
+	// stay on in every region, so Verify's final accounting identities
+	// remain exact regardless of the sampling rate. Two stream checks are
+	// relaxed in sampled mode because they need cross-region state: a fill
+	// with no matching open miss is tolerated (the miss may lie in a
+	// skipped region), and in-flight-fill conflicts are not tracked across
+	// a skipped region's boundary.
+	//
+	// 0 and 1 both mean full auditing — bit-identical to the pre-sampling
+	// auditor.
+	SampleEvery int
 }
 
 // AuditFinal carries the engine counters Verify cross-checks against the
@@ -66,9 +86,23 @@ type AuditFinal struct {
 // engine's Result: per-component lost slots, issued instructions, slot
 // conservation, and traffic by kind.
 //
+// With AuditOptions.SampleEvery > 1 the stream-structure checks above run
+// on a 1-in-N sample of inter-window regions (cheap enough to leave on
+// inside the long experiment sweeps), while every final identity Verify
+// checks stays exact; see AuditOptions.SampleEvery.
+//
 // The auditor is not safe for concurrent use; attach one per run.
 type AuditProbe struct {
 	opt AuditOptions
+
+	// sampling is true when opt.SampleEvery > 1; auditing is true while the
+	// current inter-window region is one of the sampled ones. In full mode
+	// auditing is permanently true, keeping the hot paths branch-identical
+	// to the pre-sampling auditor.
+	sampling bool
+	auditing bool
+	// windowsSeen counts closed speculation windows — the sampling epochs.
+	windowsSeen int64
 
 	// watermark is the latest event cycle known to be "now" (fill and bus
 	// cycles are future-dated and excluded).
@@ -117,8 +151,13 @@ func NewAuditProbe(opt AuditOptions) *AuditProbe {
 	if opt.Width < 1 {
 		panic("obs: AuditOptions.Width must be >= 1")
 	}
+	if opt.SampleEvery < 0 {
+		panic("obs: AuditOptions.SampleEvery must be >= 0")
+	}
 	return &AuditProbe{
 		opt:             opt,
+		sampling:        opt.SampleEvery > 1,
+		auditing:        true, // region 0 is always sampled
 		lastFetchCy:     -1,
 		lastReleaseCy:   -1,
 		pendingWindows:  make(map[int64]int64),
@@ -140,29 +179,40 @@ func (a *AuditProbe) ground(cy int64) {
 
 // FetchCycle implements Probe.
 func (a *AuditProbe) FetchCycle(cy int64, issued int) {
-	if cy <= a.lastFetchCy {
-		a.violate(cy, "fetch_cycle_order",
-			"fetch group at cycle %d does not follow the previous group at cycle %d", cy, a.lastFetchCy)
-	}
-	if issued < 0 || issued > a.opt.Width {
-		a.violate(cy, "issued_range", "fetch group issued %d instructions on a %d-wide machine",
-			issued, a.opt.Width)
+	if a.auditing {
+		if cy <= a.lastFetchCy {
+			a.violate(cy, "fetch_cycle_order",
+				"fetch group at cycle %d does not follow the previous group at cycle %d", cy, a.lastFetchCy)
+		}
+		if issued < 0 || issued > a.opt.Width {
+			a.violate(cy, "issued_range", "fetch group issued %d instructions on a %d-wide machine",
+				issued, a.opt.Width)
+		}
 	}
 	a.lastFetchCy = cy
 	a.issuedTotal += int64(issued)
 	a.ground(cy)
 
-	if until, ok := a.pendingWindows[cy]; ok {
-		// This group ended in a redirecting branch: all of its remaining
-		// slots, plus every slot until the nominal window end, are branch
-		// penalty.
-		a.branchSlots += int64(a.opt.Width)*(until-cy) - int64(issued)
-		delete(a.pendingWindows, cy)
+	// len guard: the map is empty outside windows, and skipping the hash on
+	// the common path keeps the sampled auditor's per-fetch cost at a few
+	// arithmetic ops.
+	if len(a.pendingWindows) > 0 {
+		if until, ok := a.pendingWindows[cy]; ok {
+			// This group ended in a redirecting branch: all of its remaining
+			// slots, plus every slot until the nominal window end, are branch
+			// penalty.
+			a.branchSlots += int64(a.opt.Width)*(until-cy) - int64(issued)
+			delete(a.pendingWindows, cy)
+		}
 	}
 }
 
 // MissStart implements Probe.
 func (a *AuditProbe) MissStart(cy int64, line uint64, wrongPath bool) {
+	if !a.auditing {
+		// Skipped region: misses carry no accumulator, so nothing to track.
+		return
+	}
 	a.ground(cy)
 	if wrongPath != a.inWindow {
 		a.violate(cy, "miss_path",
@@ -181,8 +231,23 @@ func (a *AuditProbe) MissStart(cy int64, line uint64, wrongPath bool) {
 
 // FillComplete implements Probe.
 func (a *AuditProbe) FillComplete(cy int64, line uint64, kind FillKind) {
+	// The kind check guards the counter array, so it stays on in skipped
+	// regions too.
 	if kind >= numFillKinds {
 		a.violate(cy, "fill_kind", "unknown fill kind %d for line %#x", int(kind), line)
+	}
+	a.fillCounts[kind]++
+	if !a.auditing {
+		// A miss opened in a sampled region may legally fill during a
+		// skipped one; retire it so Verify's never-filled ledger stays
+		// exact.
+		if len(a.openRPMiss) > 0 {
+			delete(a.openRPMiss, line)
+		}
+		if len(a.openWPMiss) > 0 {
+			delete(a.openWPMiss, line)
+		}
+		return
 	}
 	if prev, ok := a.pendingFillDone[line]; ok && prev > a.watermark {
 		a.violate(cy, "fill_inflight",
@@ -190,16 +255,17 @@ func (a *AuditProbe) FillComplete(cy int64, line uint64, kind FillKind) {
 			line, cy, prev)
 	}
 	a.pendingFillDone[line] = cy
-	a.fillCounts[kind]++
 
 	switch kind {
 	case FillDemand:
-		if _, open := a.openRPMiss[line]; !open {
+		if _, open := a.openRPMiss[line]; !open && !a.sampling {
+			// Sampled mode tolerates this: the miss may lie in a skipped
+			// region.
 			a.violate(cy, "fill_unmatched", "demand fill of line %#x without an outstanding right-path miss", line)
 		}
 		delete(a.openRPMiss, line)
 	case FillWrongPath:
-		if _, open := a.openWPMiss[line]; !open {
+		if _, open := a.openWPMiss[line]; !open && !a.sampling {
 			a.violate(cy, "fill_unmatched", "wrong-path fill of line %#x without an outstanding wrong-path miss", line)
 		}
 		delete(a.openWPMiss, line)
@@ -210,33 +276,41 @@ func (a *AuditProbe) FillComplete(cy int64, line uint64, kind FillKind) {
 
 // BusAcquire implements Probe.
 func (a *AuditProbe) BusAcquire(cy int64, line uint64, kind FillKind) {
-	if a.busHeld {
-		a.violate(cy, "bus_alternation",
-			"bus acquired for line %#x while the transfer from cycle %d has not released", line, a.busAcquireCy)
-	}
-	if !a.opt.AllowBusOverlap && cy < a.lastReleaseCy {
-		a.violate(cy, "bus_overlap",
-			"transfer of line %#x starts at cycle %d, before the previous transfer releases at cycle %d",
-			line, cy, a.lastReleaseCy)
+	a.busAcquires++
+	// The held/acquire/release state is three cheap assignments, so it is
+	// tracked through skipped regions too: only the violation checks are
+	// sampled, and the first bus event of a sampled region checks against
+	// accurate state.
+	if a.auditing {
+		if a.busHeld {
+			a.violate(cy, "bus_alternation",
+				"bus acquired for line %#x while the transfer from cycle %d has not released", line, a.busAcquireCy)
+		}
+		if !a.opt.AllowBusOverlap && cy < a.lastReleaseCy {
+			a.violate(cy, "bus_overlap",
+				"transfer of line %#x starts at cycle %d, before the previous transfer releases at cycle %d",
+				line, cy, a.lastReleaseCy)
+		}
 	}
 	a.busHeld = true
 	a.busAcquireCy = cy
-	a.busAcquires++
 }
 
 // BusRelease implements Probe.
 func (a *AuditProbe) BusRelease(cy int64) {
-	if !a.busHeld {
-		a.violate(cy, "bus_alternation", "bus released without a matching acquire")
-	}
-	if cy <= a.busAcquireCy {
-		a.violate(cy, "bus_duration",
-			"transfer acquired at cycle %d releases at cycle %d; transfers take at least one cycle",
-			a.busAcquireCy, cy)
+	a.busReleases++
+	if a.auditing {
+		if !a.busHeld {
+			a.violate(cy, "bus_alternation", "bus released without a matching acquire")
+		}
+		if cy <= a.busAcquireCy {
+			a.violate(cy, "bus_duration",
+				"transfer acquired at cycle %d releases at cycle %d; transfers take at least one cycle",
+				a.busAcquireCy, cy)
+		}
 	}
 	a.busHeld = false
 	a.lastReleaseCy = cy
-	a.busReleases++
 }
 
 // BranchResolve implements Probe.
@@ -296,6 +370,20 @@ func (a *AuditProbe) WindowEnd(cy int64) {
 	// Unserviced wrong-path misses are squashed with the window.
 	clear(a.openWPMiss)
 	a.ground(cy)
+
+	if a.sampling {
+		// A window closure ends one sampling epoch; region k (the stream up
+		// to and including window k+1's closure) is audited iff k is a
+		// multiple of SampleEvery.
+		a.windowsSeen++
+		next := a.windowsSeen%int64(a.opt.SampleEvery) == 0
+		if next && !a.auditing {
+			// Re-entering an audited region: drop the in-flight fill ledger,
+			// which references completions scheduled before the gap.
+			clear(a.pendingFillDone)
+		}
+		a.auditing = next
+	}
 }
 
 // Stall implements Probe.

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"specfetch/internal/metrics"
+)
+
+// closeWindow drives one complete, legal speculation window starting at cy
+// (nominal end cy+3), advancing the auditor's sampling epoch.
+func closeWindow(a *AuditProbe, cy int64) {
+	a.WindowStart(cy, RedirectPHTMispredict, cy+3)
+	a.Redirect(cy+3, RedirectPHTMispredict, 0x100)
+	a.WindowEnd(cy + 3)
+}
+
+// TestAuditSampledRegionStillPanics: with SampleEvery=2 the region up to the
+// first window closure and every second region after it are audited; a
+// violation inside an audited region panics exactly like the full audit.
+func TestAuditSampledRegionStillPanics(t *testing.T) {
+	// Region 0 is always audited.
+	t.Run("initial_region", func(t *testing.T) {
+		a := NewAuditProbe(AuditOptions{Width: 4, SampleEvery: 2})
+		expectViolation(t, a, "fetch_cycle_order", func(a *AuditProbe) {
+			a.FetchCycle(5, 1)
+			a.FetchCycle(5, 1)
+		})
+	})
+	// After two window closures the auditor is back in an audited region.
+	t.Run("resumed_region", func(t *testing.T) {
+		a := NewAuditProbe(AuditOptions{Width: 4, SampleEvery: 2})
+		a.FetchCycle(0, 4)
+		closeWindow(a, 1) // epoch 1: skipped
+		closeWindow(a, 6) // epoch 2: audited again
+		expectViolation(t, a, "issued_range", func(a *AuditProbe) {
+			a.FetchCycle(10, 9)
+		})
+	})
+}
+
+// TestAuditSkippedRegionNotCaught documents the sampling contract: the
+// stream-structure checks do not fire inside a skipped region, and the same
+// corruptions panic again once an audited region resumes.
+func TestAuditSkippedRegionNotCaught(t *testing.T) {
+	a := NewAuditProbe(AuditOptions{Width: 4, SampleEvery: 2})
+	a.FetchCycle(0, 4)
+	closeWindow(a, 1) // epoch 1: now skipping
+
+	// Each of these trips a violation in an audited region; here they pass
+	// silently (any panic fails the test).
+	a.FetchCycle(2, 4)
+	a.FetchCycle(2, 4)                   // duplicate cycle: fetch_cycle_order gated
+	a.FetchCycle(3, 9)                   // over-wide group: issued_range gated
+	a.MissStart(4, 0x200, true)          // wrong-path miss outside a window: miss_path gated
+	a.BusRelease(5)                      // release without acquire: bus_alternation gated
+	a.FillComplete(6, 0x240, FillDemand) // fill without a miss: fill_unmatched gated
+
+	// Resuming an audited region re-arms the checks.
+	closeWindow(a, 8) // epoch 2: audited
+	expectViolation(t, a, "fetch_cycle_order", func(a *AuditProbe) {
+		a.FetchCycle(3, 1) // behind the skipped-region group at cycle 3
+	})
+}
+
+// driveSampledRun feeds a three-region run (audited, skipped, audited) with
+// misses, transfers, stalls, and two speculation windows, and returns finals
+// that every Verify identity must match exactly despite the skipped middle.
+func driveSampledRun(a *AuditProbe) AuditFinal {
+	// Region 0 (audited): one demand miss and a window with a wrong-path
+	// miss squashed at closure.
+	a.FetchCycle(0, 4)
+	a.MissStart(1, 0x40, false)
+	a.BusAcquire(1, 0x40, FillDemand)
+	a.BusRelease(6)
+	a.FillComplete(6, 0x40, FillDemand)
+	a.Stall(1, 6, metrics.Bus, 20)
+	a.FetchCycle(6, 4)
+	a.WindowStart(7, RedirectPHTMispredict, 10)
+	a.MissStart(8, 0x80, true)
+	a.Redirect(10, RedirectPHTMispredict, 0x100)
+	a.WindowEnd(10)    // epoch 1: skipped from here
+	a.FetchCycle(7, 2) // the branch group's own fetch: 4*(10-7)-2 = 10 branch slots
+
+	// Skipped region: a demand miss whose fill must still be counted.
+	a.FetchCycle(10, 4)
+	a.MissStart(11, 0xc0, false) // gated: leaves no open-miss entry
+	a.BusAcquire(11, 0xc0, FillDemand)
+	a.BusRelease(16)
+	a.FillComplete(16, 0xc0, FillDemand)
+	a.Stall(11, 16, metrics.Bus, 20)
+	a.FetchCycle(16, 4)
+	a.WindowStart(17, RedirectPHTMispredict, 20)
+	a.Redirect(20, RedirectPHTMispredict, 0x100)
+	a.WindowEnd(20)     // epoch 2: audited again
+	a.FetchCycle(17, 2) // 4*(20-17)-2 = 10 more branch slots
+
+	// Audited tail region.
+	a.FetchCycle(20, 4)
+	a.MissStart(21, 0x100, false)
+	a.BusAcquire(21, 0x100, FillDemand)
+	a.BusRelease(26)
+	a.FillComplete(26, 0x100, FillDemand)
+	a.Stall(21, 26, metrics.Bus, 20)
+	a.FetchCycle(26, 4)
+
+	var lost metrics.Breakdown
+	lost[metrics.Bus] = 60
+	lost[metrics.Branch] = 20
+	return AuditFinal{Insts: 28, Cycles: 27, Lost: lost, DemandFills: 3}
+}
+
+// TestAuditSampledFinalsExact: the accumulators stay on through skipped
+// regions, so Verify's identities hold exactly under sampling.
+func TestAuditSampledFinalsExact(t *testing.T) {
+	a := NewAuditProbe(AuditOptions{Width: 4, SampleEvery: 2})
+	final := driveSampledRun(a)
+	if err := a.Verify(final); err != nil {
+		t.Fatalf("sampled run rejected: %v", err)
+	}
+	// And the identities are still real checks: a tampered final fails.
+	bad := final
+	bad.Insts--
+	if err := a.Verify(bad); err == nil {
+		t.Fatal("tampered finals verified clean under sampling")
+	}
+}
+
+// TestAuditSampleOneBitIdentical: SampleEvery values 0 and 1 both mean the
+// full audit — the same violations fire, and the auditor's entire internal
+// state after a clean stream is identical.
+func TestAuditSampleOneBitIdentical(t *testing.T) {
+	for _, tc := range streamViolations {
+		tc := tc
+		t.Run(tc.check, func(t *testing.T) {
+			expectViolation(t, NewAuditProbe(AuditOptions{Width: 4, SampleEvery: 1}), tc.check, tc.drive)
+		})
+	}
+
+	full := NewAuditProbe(AuditOptions{Width: 4})
+	one := NewAuditProbe(AuditOptions{Width: 4, SampleEvery: 1})
+	finalFull := driveSampledRun(full)
+	finalOne := driveSampledRun(one)
+	if finalFull != finalOne {
+		t.Fatalf("finals diverge: full %+v, sample=1 %+v", finalFull, finalOne)
+	}
+	if err := one.Verify(finalOne); err != nil {
+		t.Fatalf("sample=1 rejected a clean stream: %v", err)
+	}
+	one.opt = full.opt // the options differ by construction; the state must not
+	if !reflect.DeepEqual(full, one) {
+		t.Errorf("sample=1 internal state diverges from the full audit:\nfull: %+v\none:  %+v", full, one)
+	}
+}
+
+// TestAuditSampleEveryValidation rejects a negative rate at construction.
+func TestAuditSampleEveryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative SampleEvery accepted")
+		}
+	}()
+	NewAuditProbe(AuditOptions{Width: 4, SampleEvery: -1})
+}

@@ -31,102 +31,113 @@ func TestAuditCleanStreamVerifies(t *testing.T) {
 	}
 }
 
-// TestAuditStreamingViolations corrupts the event stream in one way per
-// case and checks the auditor panics with the right cycle-stamped check.
-func TestAuditStreamingViolations(t *testing.T) {
-	cases := []struct {
-		check string
-		drive func(a *AuditProbe)
-	}{
-		{"fetch_cycle_order", func(a *AuditProbe) {
-			a.FetchCycle(5, 1)
-			a.FetchCycle(5, 1)
-		}},
-		{"issued_range", func(a *AuditProbe) {
-			a.FetchCycle(1, 9)
-		}},
-		{"miss_path", func(a *AuditProbe) {
-			a.MissStart(1, 0x40, true) // wrong-path miss outside any window
-		}},
-		{"miss_refill", func(a *AuditProbe) {
-			a.MissStart(1, 0x40, false)
-			a.MissStart(2, 0x40, false) // missed again before the fill
-		}},
-		{"fill_unmatched", func(a *AuditProbe) {
-			a.FillComplete(10, 0x40, FillDemand) // no outstanding miss
-		}},
-		{"fill_inflight", func(a *AuditProbe) {
-			a.MissStart(1, 0x40, false)
-			a.FillComplete(100, 0x40, FillDemand)
-			a.FillComplete(50, 0x40, FillPrefetch) // same line, first fill still in flight
-		}},
-		{"bus_alternation", func(a *AuditProbe) {
-			a.BusAcquire(1, 0x40, FillDemand)
-			a.BusAcquire(2, 0x80, FillDemand) // no release in between
-		}},
-		{"bus_overlap", func(a *AuditProbe) {
-			a.BusAcquire(1, 0x40, FillDemand)
-			a.BusRelease(6)
-			a.BusAcquire(3, 0x80, FillDemand) // starts before the release
-		}},
-		{"bus_duration", func(a *AuditProbe) {
-			a.BusAcquire(5, 0x40, FillDemand)
-			a.BusRelease(5) // zero-cycle transfer
-		}},
-		{"stall_component", func(a *AuditProbe) {
-			a.Stall(1, 3, metrics.Branch, 4) // branch penalty never arrives as a stall
-		}},
-		{"stall_extent", func(a *AuditProbe) {
-			a.Stall(3, 3, metrics.Bus, 1) // empty run
-		}},
-		{"stall_extent", func(a *AuditProbe) {
-			a.Stall(1, 2, metrics.Bus, 9) // more slots than the run holds
-		}},
-		{"window_nesting", func(a *AuditProbe) {
-			a.WindowStart(1, RedirectPHTMispredict, 5)
-			a.WindowStart(2, RedirectPHTMispredict, 6)
-		}},
-		{"window_pairing", func(a *AuditProbe) {
-			a.WindowEnd(5) // no window open
-		}},
-		{"window_pairing", func(a *AuditProbe) {
-			a.WindowStart(1, RedirectPHTMispredict, 5)
-			a.WindowEnd(5) // closed without a redirect
-		}},
-		{"window_extent", func(a *AuditProbe) {
-			a.WindowStart(1, RedirectPHTMispredict, 5)
-			a.Redirect(5, RedirectPHTMispredict, 0x100)
-			a.WindowEnd(4) // resumes before the nominal end
-		}},
-		{"redirect", func(a *AuditProbe) {
-			a.Redirect(5, RedirectPHTMispredict, 0x100) // no window open
-		}},
-		{"prefetch_done", func(a *AuditProbe) {
-			a.Prefetch(5, 0x40, 5) // completes the cycle it was issued
-		}},
-	}
+// streamViolations corrupts the event stream in one way per case; the full
+// auditor (and the sampled auditor inside an audited region) must panic with
+// the named check. Shared with the sampled-mode tests in
+// audit_sample_test.go.
+var streamViolations = []struct {
+	check string
+	drive func(a *AuditProbe)
+}{
+	{"fetch_cycle_order", func(a *AuditProbe) {
+		a.FetchCycle(5, 1)
+		a.FetchCycle(5, 1)
+	}},
+	{"issued_range", func(a *AuditProbe) {
+		a.FetchCycle(1, 9)
+	}},
+	{"miss_path", func(a *AuditProbe) {
+		a.MissStart(1, 0x40, true) // wrong-path miss outside any window
+	}},
+	{"miss_refill", func(a *AuditProbe) {
+		a.MissStart(1, 0x40, false)
+		a.MissStart(2, 0x40, false) // missed again before the fill
+	}},
+	{"fill_unmatched", func(a *AuditProbe) {
+		a.FillComplete(10, 0x40, FillDemand) // no outstanding miss
+	}},
+	{"fill_inflight", func(a *AuditProbe) {
+		a.MissStart(1, 0x40, false)
+		a.FillComplete(100, 0x40, FillDemand)
+		a.FillComplete(50, 0x40, FillPrefetch) // same line, first fill still in flight
+	}},
+	{"bus_alternation", func(a *AuditProbe) {
+		a.BusAcquire(1, 0x40, FillDemand)
+		a.BusAcquire(2, 0x80, FillDemand) // no release in between
+	}},
+	{"bus_overlap", func(a *AuditProbe) {
+		a.BusAcquire(1, 0x40, FillDemand)
+		a.BusRelease(6)
+		a.BusAcquire(3, 0x80, FillDemand) // starts before the release
+	}},
+	{"bus_duration", func(a *AuditProbe) {
+		a.BusAcquire(5, 0x40, FillDemand)
+		a.BusRelease(5) // zero-cycle transfer
+	}},
+	{"stall_component", func(a *AuditProbe) {
+		a.Stall(1, 3, metrics.Branch, 4) // branch penalty never arrives as a stall
+	}},
+	{"stall_extent", func(a *AuditProbe) {
+		a.Stall(3, 3, metrics.Bus, 1) // empty run
+	}},
+	{"stall_extent", func(a *AuditProbe) {
+		a.Stall(1, 2, metrics.Bus, 9) // more slots than the run holds
+	}},
+	{"window_nesting", func(a *AuditProbe) {
+		a.WindowStart(1, RedirectPHTMispredict, 5)
+		a.WindowStart(2, RedirectPHTMispredict, 6)
+	}},
+	{"window_pairing", func(a *AuditProbe) {
+		a.WindowEnd(5) // no window open
+	}},
+	{"window_pairing", func(a *AuditProbe) {
+		a.WindowStart(1, RedirectPHTMispredict, 5)
+		a.WindowEnd(5) // closed without a redirect
+	}},
+	{"window_extent", func(a *AuditProbe) {
+		a.WindowStart(1, RedirectPHTMispredict, 5)
+		a.Redirect(5, RedirectPHTMispredict, 0x100)
+		a.WindowEnd(4) // resumes before the nominal end
+	}},
+	{"redirect", func(a *AuditProbe) {
+		a.Redirect(5, RedirectPHTMispredict, 0x100) // no window open
+	}},
+	{"prefetch_done", func(a *AuditProbe) {
+		a.Prefetch(5, 0x40, 5) // completes the cycle it was issued
+	}},
+}
 
-	for _, tc := range cases {
+// expectViolation drives fn against a and asserts it panics with a
+// cycle-stamped *AuditError carrying the named check.
+func expectViolation(t *testing.T, a *AuditProbe, check string, fn func(a *AuditProbe)) {
+	t.Helper()
+	defer func() {
+		t.Helper()
+		r := recover()
+		if r == nil {
+			t.Fatalf("corrupted stream accepted (wanted %s violation)", check)
+		}
+		ae, ok := r.(*AuditError)
+		if !ok {
+			panic(r)
+		}
+		if ae.Check != check {
+			t.Errorf("violation check = %q, want %q (%v)", ae.Check, check, ae)
+		}
+		if !strings.Contains(ae.Error(), "cycle") {
+			t.Errorf("diagnosis is not cycle-stamped: %v", ae)
+		}
+	}()
+	fn(a)
+}
+
+// TestAuditStreamingViolations checks the full auditor rejects every
+// corrupted stream with the right cycle-stamped check.
+func TestAuditStreamingViolations(t *testing.T) {
+	for _, tc := range streamViolations {
 		tc := tc
 		t.Run(tc.check, func(t *testing.T) {
-			a := NewAuditProbe(AuditOptions{Width: 4})
-			defer func() {
-				r := recover()
-				if r == nil {
-					t.Fatalf("corrupted stream accepted (wanted %s violation)", tc.check)
-				}
-				ae, ok := r.(*AuditError)
-				if !ok {
-					panic(r)
-				}
-				if ae.Check != tc.check {
-					t.Errorf("violation check = %q, want %q (%v)", ae.Check, tc.check, ae)
-				}
-				if !strings.Contains(ae.Error(), "cycle") {
-					t.Errorf("diagnosis is not cycle-stamped: %v", ae)
-				}
-			}()
-			tc.drive(a)
+			expectViolation(t, NewAuditProbe(AuditOptions{Width: 4}), tc.check, tc.drive)
 		})
 	}
 }
