@@ -13,12 +13,15 @@
 //	fetchsim -image prog.img -trace prog.trc -policy resume
 //	fetchsim -bench gcc -policy resume -timeline out.json -series ispi.csv
 //	fetchsim -bench gcc -policy resume -audit-sample 16
+//	fetchsim -bench gcc -policy resume -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"specfetch"
 )
@@ -45,8 +48,49 @@ func main() {
 		eventCap     = flag.Int("event-cap", 1<<20, "ring-buffer capacity for -events/-timeline; oldest events drop beyond it")
 		audit        = flag.Bool("audit", false, "attach the runtime accounting auditor; any invariant violation aborts with a cycle-stamped diagnosis")
 		auditSample  = flag.Int("audit-sample", 0, "audit only every Nth pipeline window (1 = every window, implies -audit); the final identities stay exact at any rate")
+		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf      = flag.String("memprofile", "", "write a heap profile to this file on successful exit")
 	)
 	flag.Parse()
+
+	// Host-side profiling of the simulator itself. Profiles are written when
+	// the run completes; error paths exit without them, like `go test`.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fetchsim: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fetchsim: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "fetchsim: cpuprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fetchsim: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC() // up-to-date live-object statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "fetchsim: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "fetchsim: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *list {
 		for _, p := range specfetch.Profiles() {

@@ -9,8 +9,17 @@
 //
 // Long campaigns are observable: per-simulation progress goes to stderr
 // (silence it with -quiet), -metrics-addr serves a Prometheus /metrics
-// endpoint with campaign counters, and SIGINT reports how far the run got
-// before exiting — tables already completed have been printed.
+// endpoint with campaign counters plus net/http/pprof under /debug/pprof/,
+// and SIGINT reports how far the run got before exiting — tables already
+// completed have been printed.
+//
+// Every run also traces host-side spans (one per simulation cell or
+// ablation row) and prints a per-builder summary — wall time, cells/sec,
+// p50/p95/p99 cell latency, allocations — to stderr. -bench-out writes the
+// same aggregates as machine-readable BENCH JSON for cmd/perfdiff;
+// -host-trace dumps the raw spans as a Chrome trace (workers x cells).
+// Instrumentation never touches stdout: rendered sweep bytes are identical
+// with it on or off.
 //
 // Usage:
 //
@@ -20,6 +29,8 @@
 //	paperbench -table 4 -csv
 //	paperbench -all -metrics-addr :9090
 //	paperbench -all -workers 8 -audit-sample 16
+//	paperbench -table 6 -bench-out BENCH_head.json -bench-label head
+//	paperbench -all -host-trace host.trace.json -cpuprofile cpu.pprof
 package main
 
 import (
@@ -27,12 +38,18 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	runtimepprof "runtime/pprof"
 	"strings"
+	"sync"
 	"sync/atomic"
 
+	"specfetch/internal/benchfmt"
 	"specfetch/internal/experiments"
+	"specfetch/internal/hosttime"
 	"specfetch/internal/obs"
 	"specfetch/internal/texttable"
 )
@@ -49,12 +66,50 @@ func main() {
 		insts    = flag.Int64("insts", 2_000_000, "instructions to simulate per benchmark")
 		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 13)")
 		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
-		quiet    = flag.Bool("quiet", false, "suppress per-simulation progress on stderr")
-		metrics  = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics (e.g. :9090)")
+		quiet    = flag.Bool("quiet", false, "suppress per-simulation progress and the host-side summary on stderr")
+		metrics  = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics, with pprof under /debug/pprof/ (e.g. :9090)")
 		workers  = flag.Int("workers", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial); output is byte-identical at every setting")
 		auditSmp = flag.Int("audit-sample", 0, "attach the accounting auditor to every simulation, checking every Nth pipeline window (1 = every window)")
+		benchOut = flag.String("bench-out", "", "write per-builder host-side performance aggregates as BENCH JSON to this file (input for perfdiff)")
+		benchLbl = flag.String("bench-label", "paperbench", "label recorded in the -bench-out report")
+		hostTr   = flag.String("host-trace", "", "write host-side spans (workers x cells) as a Chrome trace JSON to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	// Profiles must land even on the os.Exit paths (errors, SIGINT, audit
+	// failures), so every exit funnels through stopProfiles via exit().
+	var profOnce sync.Once
+	var cpuFile *os.File
+	stopProfiles := func() {
+		profOnce.Do(func() {
+			if cpuFile != nil {
+				runtimepprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "paperbench: cpuprofile: %v\n", err)
+				}
+			}
+			if *memProf != "" {
+				f, err := os.Create(*memProf)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "paperbench: memprofile: %v\n", err)
+					return
+				}
+				runtime.GC() // get up-to-date live-object statistics
+				if err := runtimepprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "paperbench: memprofile: %v\n", err)
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "paperbench: memprofile: %v\n", err)
+				}
+			}
+		})
+	}
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
 
 	// With -audit-sample, a streaming invariant violation inside any worker
 	// surfaces as a panic carrying *obs.AuditError (re-thrown on this
@@ -66,15 +121,32 @@ func main() {
 				panic(r)
 			}
 			fmt.Fprintf(os.Stderr, "paperbench: audit: %v\n", ae)
-			os.Exit(1)
+			exit(1)
 		}
 	}()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runtimepprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+
 	reg := obs.NewRegistry()
+	spans := obs.NewSpanTracer()
 	var stage atomic.Value
 	stage.Store("startup")
 
-	opt := experiments.Options{Insts: *insts, Metrics: reg, Workers: *workers, AuditSample: *auditSmp}
+	opt := experiments.Options{
+		Insts: *insts, Metrics: reg, Spans: spans,
+		Workers: *workers, AuditSample: *auditSmp,
+	}
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
 	}
@@ -84,23 +156,28 @@ func main() {
 
 	if !*all && *table == 0 && *figure == 0 && *ablation == "" && *seeds == 0 && !*sweep && !*modern {
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 
 	if *metrics != "" {
 		ln, err := net.Listen("tcp", *metrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: metrics server: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
 			if err := http.Serve(ln, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "paperbench: metrics server: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "paperbench: serving metrics on %s/metrics\n", ln.Addr())
+		fmt.Fprintf(os.Stderr, "paperbench: serving metrics on %s/metrics, pprof on %s/debug/pprof/\n", ln.Addr(), ln.Addr())
 	}
 
 	// SIGINT: completed tables are already on stdout; report how far the
@@ -118,22 +195,48 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"\npaperbench: interrupted during %s: %d simulations done, %d instructions simulated; completed output above is valid\n",
 			stage.Load(), sims, si)
-		os.Exit(130)
+		exit(130)
 	}()
 
 	run := func(err error) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
+	}
+
+	// collect runs one builder under a host-side span section, times it, and
+	// aggregates the spans it produced into a benchfmt.Builder. Aggregation
+	// only writes to stderr and the BENCH report — never stdout.
+	var builders []benchfmt.Builder
+	collect := func(name string, build func() error) {
+		stage.Store(name)
+		spans.SetSection(name)
+		lo := spans.Len()
+		start := hosttime.Now()
+		err := build()
+		wall := hosttime.Since(start).Seconds()
+		run(err)
+		cellSpans := spans.Spans()[lo:]
+		cellSecs := make([]float64, len(cellSpans))
+		var allocs uint64
+		for i, sp := range cellSpans {
+			cellSecs[i] = sp.Dur.Seconds()
+			allocs += sp.Allocs
+		}
+		builders = append(builders, benchfmt.NewBuilder(name, wall, cellSecs, allocs))
 	}
 
 	newline := func() {
 		_, err := fmt.Println()
 		run(err)
 	}
-	emitTable := func(t *texttable.Table, err error) {
-		run(err)
+	emitTable := func(name string, fn func(experiments.Options) (*texttable.Table, error)) {
+		var t *texttable.Table
+		collect(name, func() (err error) {
+			t, err = fn(opt)
+			return err
+		})
 		if *csv {
 			run(t.RenderCSV(os.Stdout))
 		} else {
@@ -141,8 +244,12 @@ func main() {
 		}
 		newline()
 	}
-	emitFigure := func(f *texttable.StackedBars, err error) {
-		run(err)
+	emitFigure := func(name string, fn func(experiments.Options) (*texttable.StackedBars, error)) {
+		var f *texttable.StackedBars
+		collect(name, func() (err error) {
+			f, err = fn(opt)
+			return err
+		})
 		run(f.Render(os.Stdout))
 		newline()
 	}
@@ -158,46 +265,79 @@ func main() {
 
 	switch {
 	case *modern:
-		stage.Store("modern study")
-		tab, err := experiments.ModernStudy(opt)
-		emitTable(tab, err)
+		emitTable("modern study", experiments.ModernStudy)
 	case *sweep:
-		stage.Store("latency sweep")
-		tab, err := experiments.LatencySweep(opt, nil)
-		emitTable(tab, err)
+		emitTable("latency sweep", func(o experiments.Options) (*texttable.Table, error) {
+			return experiments.LatencySweep(o, nil)
+		})
 	case *seeds > 0:
-		stage.Store(fmt.Sprintf("seed sensitivity (%d seeds)", *seeds))
-		tab, err := experiments.SeedSensitivity(opt, *seeds)
-		emitTable(tab, err)
+		emitTable(fmt.Sprintf("seed sensitivity (%d seeds)", *seeds),
+			func(o experiments.Options) (*texttable.Table, error) {
+				return experiments.SeedSensitivity(o, *seeds)
+			})
 	case *all:
 		for n := 2; n <= 7; n++ {
-			stage.Store(fmt.Sprintf("table %d", n))
-			emitTable(tables[n](opt))
+			emitTable(fmt.Sprintf("table %d", n), tables[n])
 		}
 		for n := 1; n <= 4; n++ {
-			stage.Store(fmt.Sprintf("figure %d", n))
-			emitFigure(figures[n](opt))
+			emitFigure(fmt.Sprintf("figure %d", n), figures[n])
 		}
 	case *ablation != "":
 		fn, ok := experiments.Ablations()[*ablation]
 		if !ok {
 			run(fmt.Errorf("no ablation %q", *ablation))
 		}
-		stage.Store("ablation " + *ablation)
-		emitTable(fn(opt))
+		emitTable("ablation "+*ablation, fn)
 	case *table != 0:
 		fn, ok := tables[*table]
 		if !ok {
 			run(fmt.Errorf("no table %d (paper has tables 2-7)", *table))
 		}
-		stage.Store(fmt.Sprintf("table %d", *table))
-		emitTable(fn(opt))
+		emitTable(fmt.Sprintf("table %d", *table), fn)
 	case *figure != 0:
 		fn, ok := figures[*figure]
 		if !ok {
 			run(fmt.Errorf("no figure %d (paper has figures 1-4)", *figure))
 		}
-		stage.Store(fmt.Sprintf("figure %d", *figure))
-		emitFigure(fn(opt))
+		emitFigure(fmt.Sprintf("figure %d", *figure), fn)
 	}
+
+	report := benchfmt.Report{
+		Label:        *benchLbl,
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Workers:      *workers,
+		InstsPerCell: *insts,
+		Builders:     builders,
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "paperbench: host-side summary (%s, GOMAXPROCS %d, workers %d):\n",
+			report.GoVersion, report.GOMAXPROCS, report.Workers)
+		for _, b := range report.Builders {
+			fmt.Fprintf(os.Stderr,
+				"paperbench:   %-24s %4d cells in %8.3fs (%7.1f cells/sec)  p50 %.4fs p95 %.4fs p99 %.4fs  %d allocs\n",
+				b.Name, b.Cells, b.WallSeconds, b.CellsPerSec,
+				b.P50Seconds, b.P95Seconds, b.P99Seconds, b.Allocs)
+		}
+	}
+	if *benchOut != "" {
+		if err := benchfmt.WriteFile(*benchOut, report); err != nil {
+			run(fmt.Errorf("bench-out: %v", err))
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: wrote BENCH report to %s\n", *benchOut)
+	}
+	if *hostTr != "" {
+		f, err := os.Create(*hostTr)
+		if err != nil {
+			run(fmt.Errorf("host-trace: %v", err))
+		}
+		if err := obs.WriteHostTrace(f, spans.Spans()); err != nil {
+			run(fmt.Errorf("host-trace: %v", err))
+		}
+		if err := f.Close(); err != nil {
+			run(fmt.Errorf("host-trace: %v", err))
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: wrote host trace to %s\n", *hostTr)
+	}
+	stopProfiles()
 }

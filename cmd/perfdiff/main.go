@@ -1,0 +1,84 @@
+// Command perfdiff compares two BENCH JSON reports (paperbench -bench-out)
+// benchstat-style and gates on regressions: it prints one row per builder
+// with old/new seconds-per-cell and the percentage delta, and exits nonzero
+// when any builder slowed down by more than the noise threshold. CI runs it
+// as the perf gate; locally it turns two BENCH files into a yes/no answer
+// about a change's host-side cost.
+//
+// Usage:
+//
+//	perfdiff old.json new.json
+//	perfdiff -threshold 0.3 BENCH_baseline.json BENCH_change.json
+//
+// Exit status: 0 = no regression, 1 = regression beyond the threshold,
+// 2 = usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"specfetch/internal/benchfmt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("perfdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.2,
+		"noise threshold: flag a builder only when new seconds-per-cell exceeds old by more than this fraction")
+	fs.Usage = func() {
+		_, _ = fmt.Fprintln(stderr, "usage: perfdiff [-threshold frac] old.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	if *threshold < 0 {
+		_, _ = fmt.Fprintln(stderr, "perfdiff: threshold must be non-negative")
+		return 2
+	}
+
+	old, err := benchfmt.ReadFile(fs.Arg(0))
+	if err != nil {
+		_, _ = fmt.Fprintf(stderr, "perfdiff: %v\n", err)
+		return 2
+	}
+	head, err := benchfmt.ReadFile(fs.Arg(1))
+	if err != nil {
+		_, _ = fmt.Fprintf(stderr, "perfdiff: %v\n", err)
+		return 2
+	}
+
+	if _, err := fmt.Fprintf(stdout, "old: %s (%s, GOMAXPROCS %d, workers %d)\nnew: %s (%s, GOMAXPROCS %d, workers %d)\n",
+		old.Label, old.GoVersion, old.GOMAXPROCS, old.Workers,
+		head.Label, head.GoVersion, head.GOMAXPROCS, head.Workers); err != nil {
+		_, _ = fmt.Fprintf(stderr, "perfdiff: writing output: %v\n", err)
+		return 2
+	}
+	if old.GOMAXPROCS != head.GOMAXPROCS || old.Workers != head.Workers ||
+		old.InstsPerCell != head.InstsPerCell {
+		_, _ = fmt.Fprintln(stderr, "perfdiff: warning: reports were taken at different parallelism or instruction budgets; deltas are apples-to-oranges")
+	}
+
+	deltas := benchfmt.Compare(old, head, *threshold)
+	if err := benchfmt.FormatDeltas(stdout, deltas, *threshold); err != nil {
+		_, _ = fmt.Fprintf(stderr, "perfdiff: writing output: %v\n", err)
+		return 2
+	}
+	if benchfmt.AnyRegression(deltas) {
+		_, _ = fmt.Fprintln(stderr, "perfdiff: REGRESSION beyond threshold")
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSelfVsSelf is the perf gate's green path: a fixture compared against
+// itself exits 0 with every delta at +0.0%.
+func TestSelfVsSelf(t *testing.T) {
+	base := filepath.Join("testdata", "base.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{base, base}, &out, &errb); code != 0 {
+		t.Fatalf("self-vs-self exit = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "geomean") {
+		t.Errorf("output missing geomean summary:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("self-vs-self flagged a regression:\n%s", out.String())
+	}
+}
+
+// TestDetectsInjectedSlowdown is the gate's red path: the fixture pair with
+// an artificial 2x slowdown exits nonzero and names the regressions.
+func TestDetectsInjectedSlowdown(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		filepath.Join("testdata", "base.json"),
+		filepath.Join("testdata", "slow2x.json"),
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("2x-slowdown exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if got := strings.Count(out.String(), "REGRESSION"); got != 2 {
+		t.Errorf("regression rows = %d, want 2:\n%s", got, out.String())
+	}
+	if !strings.Contains(errb.String(), "REGRESSION") {
+		t.Errorf("stderr missing regression verdict: %s", errb.String())
+	}
+}
+
+// TestThresholdAbsorbsSlowdown: a generous threshold turns the same pair
+// green — the noise knob works end to end.
+func TestThresholdAbsorbsSlowdown(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-threshold", "1.5",
+		filepath.Join("testdata", "base.json"),
+		filepath.Join("testdata", "slow2x.json"),
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 at threshold 1.5\nstderr: %s", code, errb.String())
+	}
+}
+
+// TestUsageErrors: bad invocations exit 2.
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"one.json"},
+		{"-threshold", "-1", "a.json", "b.json"},
+		{filepath.Join("testdata", "base.json"), filepath.Join("testdata", "nosuch.json")},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) exit = %d, want 2", args, code)
+		}
+	}
+}

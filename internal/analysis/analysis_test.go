@@ -123,6 +123,45 @@ func TestExternalTestPackageFixture(t *testing.T) {
 	}
 }
 
+// TestHosttimeWallClockSanctioned proves the wall-clock allowlist cuts
+// exactly one way: the hosttime fixture's time.Now/time.Since produce zero
+// determinism findings, while the identical calls in the parent determinism
+// fixture (no hosttime path segment) are still flagged.
+func TestHosttimeWallClockSanctioned(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "determinism", "hosttime")
+	pkgs, err := Load(".", []string{dir})
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture loaded %d packages, want 1", len(pkgs))
+	}
+	if errs := pkgs[0].TypeErrors; len(errs) != 0 {
+		t.Fatalf("fixture does not type-check: %v", errs)
+	}
+	if diags := Run(pkgs, []*Analyzer{Determinism}); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("sanctioned hosttime fixture flagged: %s", d.String(""))
+		}
+	}
+
+	// The exemption must not leak outside a hosttime path segment: the
+	// plain determinism fixture keeps its wall-clock findings.
+	unsanctioned, err := Load(".", []string{filepath.Join("testdata", "src", "determinism")})
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	found := false
+	for _, d := range Run(unsanctioned, []*Analyzer{Determinism}) {
+		if strings.Contains(d.Message, "time.Now") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("time.Now outside hosttime no longer flagged; the allowlist leaked")
+	}
+}
+
 // TestLoadRepo checks the loader stands up the whole module offline: every
 // package parses and type-checks with stdlib imports resolved from export
 // data.

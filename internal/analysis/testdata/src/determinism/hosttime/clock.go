@@ -1,0 +1,12 @@
+// Package hosttime is the determinism analyzer's allowlist fixture: it sits
+// under a "hosttime" path segment, so its wall-clock reads are sanctioned
+// and must produce zero findings — while the identical calls in the parent
+// determinism fixture stay flagged. The other determinism rules are NOT
+// waived here; this fixture deliberately contains only clock reads.
+package hosttime
+
+import "time"
+
+func now() time.Time { return time.Now() }
+
+func elapsed(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,139 @@
+// Package benchfmt defines the machine-readable BENCH report: the JSON
+// schema paperbench's -bench-out emits (one Builder entry per table/figure
+// builder, with wall time, cell count, throughput, allocations, and exact
+// cell-latency quantiles), plus the benchstat-style comparison cmd/perfdiff
+// runs over two reports. The committed BENCH trajectory and the CI perf
+// gate both speak this format, so the schema changes only additively.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// Report is one BENCH_<label>.json document: a host-side performance
+// snapshot of one paperbench campaign.
+type Report struct {
+	// Label names the run ("ci", "baseline", a commit hash, ...).
+	Label string `json:"label"`
+	// GoVersion is runtime.Version() of the producing binary.
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS and Workers pin the parallelism the numbers were taken at;
+	// comparisons across different settings are apples-to-oranges and
+	// perfdiff warns about them.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+	// InstsPerCell is the per-benchmark instruction budget of the campaign.
+	InstsPerCell int64 `json:"insts_per_cell"`
+	// Builders holds one entry per builder run, in campaign order.
+	Builders []Builder `json:"builders"`
+}
+
+// Builder is the host-side cost of one table/figure builder.
+type Builder struct {
+	// Name is the campaign stage label ("table 6", "figure 1", ...).
+	Name string `json:"name"`
+	// Cells is the number of sweep work units the builder executed.
+	Cells int `json:"cells"`
+	// WallSeconds is the builder's end-to-end host wall time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// CellsPerSec is Cells / WallSeconds (0 when wall time is 0).
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// Allocs is the total heap objects allocated across the builder's
+	// spans (approximate under concurrency; see obs.HostSpan.Allocs).
+	Allocs uint64 `json:"allocs"`
+	// P50/P95/P99Seconds are exact sample quantiles of per-cell latency.
+	P50Seconds float64 `json:"p50_seconds"`
+	P95Seconds float64 `json:"p95_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+}
+
+// NewBuilder aggregates one builder's measurements: wall time, the per-cell
+// latencies in seconds (consumed: the slice is sorted in place), and the
+// summed allocation count.
+func NewBuilder(name string, wallSeconds float64, cellSeconds []float64, allocs uint64) Builder {
+	b := Builder{
+		Name:        name,
+		Cells:       len(cellSeconds),
+		WallSeconds: wallSeconds,
+		Allocs:      allocs,
+	}
+	if wallSeconds > 0 {
+		b.CellsPerSec = float64(b.Cells) / wallSeconds
+	}
+	sort.Float64s(cellSeconds)
+	b.P50Seconds = Quantile(cellSeconds, 0.50)
+	b.P95Seconds = Quantile(cellSeconds, 0.95)
+	b.P99Seconds = Quantile(cellSeconds, 0.99)
+	return b
+}
+
+// Quantile returns the exact nearest-rank q-quantile of a sorted sample
+// (0 for an empty sample).
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Write emits the report as indented JSON with a trailing newline.
+func Write(w io.Writer, r Report) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Read parses a report, rejecting unknown fields so a schema typo in a
+// committed BENCH file fails loudly instead of comparing zeros.
+func Read(r io.Reader) (Report, error) {
+	var rep Report
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}
+
+// ReadFile loads one BENCH JSON file.
+func ReadFile(path string) (Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Report{}, err
+	}
+	defer func() { _ = f.Close() }() // read side; nothing to lose on close
+	rep, err := Read(f)
+	if err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// WriteFile writes one BENCH JSON file.
+func WriteFile(path string, r Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, r); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
+}

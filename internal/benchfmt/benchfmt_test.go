@@ -1,0 +1,192 @@
+package benchfmt
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport(scale float64) Report {
+	return Report{
+		Label:        "test",
+		GoVersion:    "go1.22",
+		GOMAXPROCS:   4,
+		Workers:      4,
+		InstsPerCell: 200_000,
+		Builders: []Builder{
+			NewBuilder("table 6", 1.0*scale, []float64{0.09 * scale, 0.10 * scale, 0.11 * scale, 0.10 * scale}, 1000),
+			NewBuilder("figure 1", 2.0*scale, []float64{0.45 * scale, 0.55 * scale, 0.50 * scale, 0.50 * scale}, 2000),
+		},
+	}
+}
+
+// TestNewBuilderStats pins the aggregation: cell count, throughput, and
+// exact nearest-rank quantiles.
+func TestNewBuilderStats(t *testing.T) {
+	b := NewBuilder("t", 2.0, []float64{0.4, 0.1, 0.3, 0.2}, 42)
+	if b.Cells != 4 {
+		t.Errorf("Cells = %d, want 4", b.Cells)
+	}
+	if b.CellsPerSec != 2.0 {
+		t.Errorf("CellsPerSec = %g, want 2", b.CellsPerSec)
+	}
+	if b.Allocs != 42 {
+		t.Errorf("Allocs = %d, want 42", b.Allocs)
+	}
+	// Nearest-rank on {0.1 0.2 0.3 0.4}: p50 = rank 2 = 0.2; p95/p99 = rank 4.
+	if b.P50Seconds != 0.2 || b.P95Seconds != 0.4 || b.P99Seconds != 0.4 {
+		t.Errorf("quantiles = %g/%g/%g, want 0.2/0.4/0.4", b.P50Seconds, b.P95Seconds, b.P99Seconds)
+	}
+
+	empty := NewBuilder("e", 0, nil, 0)
+	if empty.CellsPerSec != 0 || empty.P50Seconds != 0 {
+		t.Errorf("empty builder stats = %+v, want zeros", empty)
+	}
+}
+
+// TestQuantileExact covers nearest-rank semantics on a known sample.
+func TestQuantileExact(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.05, 1}, {0.1, 1}, {0.11, 2}, {0.5, 5}, {0.95, 10}, {0.99, 10}, {1, 10},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(empty) = %g, want 0", got)
+	}
+}
+
+// TestReportRoundTrip: Write then Read reconstructs the report exactly, and
+// unknown fields are rejected.
+func TestReportRoundTrip(t *testing.T) {
+	want := sampleReport(1)
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte("\n")) {
+		t.Error("Write output lacks trailing newline")
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	if _, err := Read(strings.NewReader(`{"label":"x","bogus_field":1}`)); err == nil {
+		t.Error("Read accepted an unknown field")
+	}
+}
+
+// TestCompareSelfVsSelf is half the perf gate's acceptance contract: a
+// report compared against itself produces no regressions at any threshold.
+func TestCompareSelfVsSelf(t *testing.T) {
+	r := sampleReport(1)
+	deltas := Compare(r, r, 0)
+	if AnyRegression(deltas) {
+		t.Fatalf("self-vs-self comparison reported a regression: %+v", deltas)
+	}
+	for _, d := range deltas {
+		if d.Ratio != 1 {
+			t.Errorf("%s: self ratio = %g, want 1", d.Name, d.Ratio)
+		}
+	}
+	if g := GeomeanRatio(deltas); g != 1 {
+		t.Errorf("self geomean = %g, want 1", g)
+	}
+}
+
+// TestCompareDetectsInjectedSlowdown is the other half: an artificial 2x
+// slowdown must cross any sane noise threshold.
+func TestCompareDetectsInjectedSlowdown(t *testing.T) {
+	old, slow := sampleReport(1), sampleReport(2)
+	deltas := Compare(old, slow, 0.5)
+	if !AnyRegression(deltas) {
+		t.Fatal("2x slowdown not flagged at threshold 0.5")
+	}
+	for _, d := range deltas {
+		if !d.Regression {
+			t.Errorf("%s: 2x slower but not marked as regression (ratio %g)", d.Name, d.Ratio)
+		}
+		if math.Abs(d.Ratio-2) > 1e-9 {
+			t.Errorf("%s: ratio = %g, want 2", d.Name, d.Ratio)
+		}
+	}
+	if g := GeomeanRatio(deltas); math.Abs(g-2) > 1e-9 {
+		t.Errorf("geomean = %g, want 2", g)
+	}
+}
+
+// TestCompareThreshold: the noise threshold is a strict boundary — at or
+// below it is noise, above it is a regression.
+func TestCompareThreshold(t *testing.T) {
+	old := Report{Builders: []Builder{NewBuilder("b", 1.0, []float64{0.1}, 0)}}
+	within := Report{Builders: []Builder{NewBuilder("b", 1.10, []float64{0.11}, 0)}}
+	beyond := Report{Builders: []Builder{NewBuilder("b", 1.21, []float64{0.121}, 0)}}
+	if AnyRegression(Compare(old, within, 0.2)) {
+		t.Error("10% slowdown flagged at 20% threshold")
+	}
+	if !AnyRegression(Compare(old, beyond, 0.2)) {
+		t.Error("21% slowdown not flagged at 20% threshold")
+	}
+	// Improvements are never regressions.
+	faster := Report{Builders: []Builder{NewBuilder("b", 0.5, []float64{0.05}, 0)}}
+	if AnyRegression(Compare(old, faster, 0)) {
+		t.Error("2x speedup flagged as regression")
+	}
+}
+
+// TestCompareMissingBuilders: builders on only one side are reported but
+// never fail the gate.
+func TestCompareMissingBuilders(t *testing.T) {
+	old := Report{Builders: []Builder{
+		NewBuilder("kept", 1, []float64{0.1}, 0),
+		NewBuilder("removed", 1, []float64{0.1}, 0),
+	}}
+	head := Report{Builders: []Builder{
+		NewBuilder("kept", 1, []float64{0.1}, 0),
+		NewBuilder("added", 1, []float64{0.1}, 0),
+	}}
+	deltas := Compare(old, head, 0)
+	if AnyRegression(deltas) {
+		t.Error("missing builders flagged as regression")
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if !byName["removed"].Missing || !byName["added"].Missing || byName["kept"].Missing {
+		t.Errorf("missing flags wrong: %+v", deltas)
+	}
+}
+
+// TestFormatDeltas spot-checks the rendered table: header, a regression
+// marker, added/removed rows, and the geomean line.
+func TestFormatDeltas(t *testing.T) {
+	old := Report{Builders: []Builder{
+		NewBuilder("slow", 1, []float64{0.1}, 0),
+		NewBuilder("removed", 1, []float64{0.1}, 0),
+	}}
+	head := Report{Builders: []Builder{
+		NewBuilder("slow", 3, []float64{0.3}, 0),
+		NewBuilder("added", 1, []float64{0.1}, 0),
+	}}
+	var buf bytes.Buffer
+	if err := FormatDeltas(&buf, Compare(old, head, 0.2), 0.2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"builder", "REGRESSION", "removed", "added", "geomean", "+200.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}

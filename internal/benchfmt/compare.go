@@ -1,0 +1,133 @@
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Delta is one builder's old-vs-new comparison. The compared metric is
+// seconds per cell (wall time divided by cell count): lower is better, and
+// it stays comparable when a builder's cell count changes between runs.
+type Delta struct {
+	Name          string
+	OldSecPerCell float64
+	NewSecPerCell float64
+	// Ratio is New/Old seconds-per-cell; 1.0 means unchanged.
+	Ratio float64
+	// Missing marks a builder present in only one report (no ratio).
+	Missing bool
+	// Regression is set when Ratio exceeds 1+threshold.
+	Regression bool
+}
+
+// Compare matches builders by name (old report order, new-only builders
+// appended) and flags regressions beyond the noise threshold: a builder
+// regresses when its new seconds-per-cell exceeds the old by more than
+// threshold (e.g. 0.2 = 20% slower). Builders present on only one side are
+// reported as Missing but never as regressions — a renamed builder should
+// fail review, not the perf gate.
+func Compare(old, head Report, threshold float64) []Delta {
+	newByName := make(map[string]Builder, len(head.Builders))
+	for _, b := range head.Builders {
+		newByName[b.Name] = b
+	}
+	var deltas []Delta
+	seen := make(map[string]bool, len(old.Builders))
+	for _, ob := range old.Builders {
+		seen[ob.Name] = true
+		nb, ok := newByName[ob.Name]
+		if !ok {
+			deltas = append(deltas, Delta{Name: ob.Name, OldSecPerCell: secPerCell(ob), Missing: true})
+			continue
+		}
+		d := Delta{
+			Name:          ob.Name,
+			OldSecPerCell: secPerCell(ob),
+			NewSecPerCell: secPerCell(nb),
+		}
+		if d.OldSecPerCell > 0 {
+			d.Ratio = d.NewSecPerCell / d.OldSecPerCell
+		} else if d.NewSecPerCell == 0 {
+			d.Ratio = 1
+		} else {
+			d.Ratio = math.Inf(1)
+		}
+		d.Regression = d.Ratio > 1+threshold
+		deltas = append(deltas, d)
+	}
+	for _, nb := range head.Builders {
+		if !seen[nb.Name] {
+			deltas = append(deltas, Delta{Name: nb.Name, NewSecPerCell: secPerCell(nb), Missing: true})
+		}
+	}
+	return deltas
+}
+
+// secPerCell is the comparison metric; a builder with no cells contributes
+// its raw wall time so a degenerate report still compares.
+func secPerCell(b Builder) float64 {
+	if b.Cells > 0 {
+		return b.WallSeconds / float64(b.Cells)
+	}
+	return b.WallSeconds
+}
+
+// AnyRegression reports whether any delta crossed the threshold.
+func AnyRegression(deltas []Delta) bool {
+	for _, d := range deltas {
+		if d.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// GeomeanRatio returns the geometric mean of the matched ratios (1.0 when
+// nothing matched) — the summary line of the comparison.
+func GeomeanRatio(deltas []Delta) float64 {
+	sum, n := 0.0, 0
+	for _, d := range deltas {
+		if d.Missing || d.Ratio <= 0 || math.IsInf(d.Ratio, 0) {
+			continue
+		}
+		sum += math.Log(d.Ratio)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// FormatDeltas renders the comparison benchstat-style: one aligned row per
+// builder with old/new seconds-per-cell and the percentage delta, flagging
+// regressions, then the geomean summary.
+func FormatDeltas(w io.Writer, deltas []Delta, threshold float64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%-24s %14s %14s %10s\n", "builder", "old s/cell", "new s/cell", "delta")
+	for _, d := range deltas {
+		switch {
+		case d.Missing && d.NewSecPerCell == 0:
+			fmt.Fprintf(bw, "%-24s %14s %14s %10s\n", d.Name, fmtSec(d.OldSecPerCell), "-", "removed")
+		case d.Missing:
+			fmt.Fprintf(bw, "%-24s %14s %14s %10s\n", d.Name, "-", fmtSec(d.NewSecPerCell), "added")
+		default:
+			mark := ""
+			if d.Regression {
+				mark = "  REGRESSION"
+			}
+			fmt.Fprintf(bw, "%-24s %14s %14s %+9.1f%%%s\n",
+				d.Name, fmtSec(d.OldSecPerCell), fmtSec(d.NewSecPerCell), (d.Ratio-1)*100, mark)
+		}
+	}
+	fmt.Fprintf(bw, "%-24s %14s %14s %+9.1f%%  (threshold %.0f%%)\n",
+		"geomean", "", "", (GeomeanRatio(deltas)-1)*100, threshold*100)
+	return bw.Flush()
+}
+
+// fmtSec renders a seconds value with stable width-friendly precision.
+func fmtSec(s float64) string {
+	return fmt.Sprintf("%.6f", s)
+}

@@ -29,8 +29,15 @@ type Options struct {
 	// concurrently.
 	Progress func(msg string)
 	// Metrics, if non-nil, accumulates campaign counters
-	// (specfetch_simulations_total, specfetch_simulated_insts_total).
+	// (specfetch_simulations_total, specfetch_simulated_insts_total) and,
+	// when Spans is also set, the specfetch_cell_seconds latency histogram.
 	Metrics *obs.Registry
+	// Spans, if non-nil, records one host-side span per sweep work unit
+	// (simulation cell or ablation row): wall time, pool worker, and heap
+	// allocations. Tracing is observe-only — rendered sweep bytes are
+	// byte-identical with it on or off (asserted by the differential
+	// harness in shard_test.go).
+	Spans *obs.SpanTracer
 }
 
 // observe reports one finished simulation to the optional progress and
@@ -91,7 +98,7 @@ func buildAll(opt Options) ([]*synth.Bench, error) {
 	if err != nil {
 		return nil, err
 	}
-	return mapCells(opt, len(profs), func(i int) (*synth.Bench, error) {
+	return mapCells(opt, len(profs), func(_, i int) (*synth.Bench, error) {
 		return synth.Build(profs[i])
 	})
 }

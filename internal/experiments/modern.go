@@ -17,7 +17,7 @@ import (
 // work-list of bench x cache x penalty x policy cells.
 func ModernStudy(opt Options) (*texttable.Table, error) {
 	profiles := synth.ModernProfiles()
-	benches, err := mapCells(opt, len(profiles), func(i int) (*synth.Bench, error) {
+	benches, err := mapCells(opt, len(profiles), func(_, i int) (*synth.Bench, error) {
 		return synth.Build(profiles[i])
 	})
 	if err != nil {

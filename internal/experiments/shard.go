@@ -41,23 +41,25 @@ type cellFailure struct {
 	isPanic bool
 }
 
-// pool runs fn(i) for i in [0,n) on up to opt.workers() goroutines. Cell
-// indexes are dispensed in increasing order; after a cell fails, no new cell
-// is started, already-running cells finish, and the pool drains before
+// pool runs fn(worker, i) for i in [0,n) on up to opt.workers() goroutines;
+// worker is the 0-based index of the goroutine running the cell (always 0 on
+// the serial path), which the host span tracer uses as its timeline track.
+// Cell indexes are dispensed in increasing order; after a cell fails, no new
+// cell is started, already-running cells finish, and the pool drains before
 // reporting. The failure surfaced is the one with the smallest index — and
 // that is deterministic: indexes are handed out in order, so the smallest
 // failing index is always dispatched (and therefore observed) no matter how
 // the scheduler interleaves the workers. A panicking cell (e.g. an
 // *obs.AuditError from a sampled audit) is re-panicked on the caller's
 // goroutine with its original value once the pool has drained.
-func pool(opt Options, n int, fn func(i int) error) error {
+func pool(opt Options, n int, fn func(worker, i int) error) error {
 	workers := opt.workers()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -79,28 +81,28 @@ func pool(opt Options, n int, fn func(i int) error) error {
 		mu.Unlock()
 		stop.Store(true)
 	}
-	runOne := func(i int) {
+	runOne := func(w, i int) {
 		defer func() {
 			if r := recover(); r != nil {
 				record(cellFailure{idx: i, payload: r, isPanic: true})
 			}
 		}()
-		if err := fn(i); err != nil {
+		if err := fn(w, i); err != nil {
 			record(cellFailure{idx: i, err: err})
 		}
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for !stop.Load() {
 				i := int(next.Add(1))
 				if i >= n {
 					return
 				}
-				runOne(i)
+				runOne(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if fail == nil {
@@ -113,11 +115,12 @@ func pool(opt Options, n int, fn func(i int) error) error {
 }
 
 // mapCells runs fn over [0,n) on the pool and returns the index-keyed
-// results — the deterministic reduction every builder hangs off.
-func mapCells[T any](opt Options, n int, fn func(i int) (T, error)) ([]T, error) {
+// results — the deterministic reduction every builder hangs off. fn's first
+// argument is the pool worker index running the cell.
+func mapCells[T any](opt Options, n int, fn func(worker, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := pool(opt, n, func(i int) error {
-		v, err := fn(i)
+	err := pool(opt, n, func(w, i int) error {
+		v, err := fn(w, i)
 		if err != nil {
 			return err
 		}
@@ -133,8 +136,15 @@ func mapCells[T any](opt Options, n int, fn func(i int) (T, error)) ([]T, error)
 // benchRows evaluates fn once per benchmark on the pool, preserving bench
 // order. Builders whose row needs several dependent simulations (the
 // ablations) shard at this granularity; fn runs its own cells serially.
+// Each row is wrapped in one host span ("<bench>/row") — the pool's unit of
+// work at this granularity.
 func benchRows[T any](opt Options, benches []*synth.Bench, fn func(b *synth.Bench) (T, error)) ([]T, error) {
-	return mapCells(opt, len(benches), func(i int) (T, error) { return fn(benches[i]) })
+	return mapCells(opt, len(benches), func(w, i int) (T, error) {
+		sp := spanStart(opt, benches[i].Profile().Name+"/row", w)
+		v, err := fn(benches[i])
+		spanEnd(opt, sp)
+		return v, err
+	})
 }
 
 // runCell is one independent unit of sweep work: one benchmark simulated
@@ -154,16 +164,44 @@ func newCell(b *synth.Bench, cfg core.Config) runCell {
 }
 
 // runCells executes a work-list on the pool and returns results keyed by
-// cell index.
+// cell index. With host tracing enabled (Options.Spans), every cell is
+// wrapped in a span named "<bench>/<policy>" on the worker that ran it.
 func runCells(opt Options, cells []runCell) ([]core.Result, error) {
-	return mapCells(opt, len(cells), func(i int) (core.Result, error) {
+	return mapCells(opt, len(cells), func(w, i int) (core.Result, error) {
+		var sp obs.SpanHandle
+		if opt.Spans != nil {
+			sp = opt.Spans.Start(
+				cells[i].bench.Profile().Name+"/"+cells[i].cfg.Policy.String(), w)
+		}
 		res, err := simulate(cells[i], opt)
+		spanEnd(opt, sp)
 		if err != nil {
 			return core.Result{}, fmt.Errorf("%s/%s: %w",
 				cells[i].bench.Profile().Name, cells[i].cfg.Policy, err)
 		}
 		return res, nil
 	})
+}
+
+// spanStart opens a host span when tracing is enabled (nil tracers return
+// an inert handle).
+func spanStart(opt Options, name string, worker int) obs.SpanHandle {
+	return opt.Spans.Start(name, worker)
+}
+
+// spanEnd completes a host span and feeds its latency into the campaign
+// metrics histogram. Host timing is observe-only: nothing here touches
+// simulated state, so sweep bytes are identical with tracing on or off.
+func spanEnd(opt Options, sp obs.SpanHandle) {
+	span, ok := sp.End()
+	if !ok {
+		return
+	}
+	if opt.Metrics != nil {
+		opt.Metrics.Histogram("specfetch_cell_seconds",
+			"Host wall time per sweep work unit (simulation cell or ablation row).").
+			Observe(span.Dur.Seconds())
+	}
 }
 
 // simulate runs one cell with a fresh engine, cache, and predictor. With

@@ -65,6 +65,62 @@ func TestDifferentialSerialParallelAudited(t *testing.T) {
 	}
 }
 
+// renderTable6Figure1 builds the instrumentation differential's target
+// artifacts: one flat policy work-list (Table 6) and one figure work-list
+// (Figure 1).
+func renderTable6Figure1(t *testing.T, opt Options) string {
+	t.Helper()
+	tab, err := Table6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := Figure1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab.String() + "\n" + fig.String()
+}
+
+// TestDifferentialInstrumentationNeutral proves host-side observability is
+// observe-only: Table 6 + Figure 1 bytes are identical with span tracing
+// and the metrics/histogram registry enabled vs. disabled, at Workers 1 and
+// 4 (run under -race in CI). It also pins that the instrumentation actually
+// fired: spans were recorded, one per cell, and the registry's cell-latency
+// histogram saw every one of them.
+func TestDifferentialInstrumentationNeutral(t *testing.T) {
+	base := Options{Insts: 50_000, Benchmarks: []string{"gcc", "groff"}}
+
+	for _, w := range []int{1, 4} {
+		plain := base
+		plain.Workers = w
+		want := renderTable6Figure1(t, plain)
+
+		inst := base
+		inst.Workers = w
+		inst.Spans = obs.NewSpanTracer()
+		inst.Metrics = obs.NewRegistry()
+		if got := renderTable6Figure1(t, inst); got != want {
+			t.Errorf("Workers=%d: instrumented sweep renders differently from the plain sweep", w)
+		}
+
+		spans := inst.Spans.Spans()
+		// Table 6: 2 benches x 5 policies; Figure 1: 2 benches x 5 policies.
+		const wantCells = 2 * 5 * 2
+		if len(spans) != wantCells {
+			t.Errorf("Workers=%d: recorded %d spans, want %d (one per cell)", w, len(spans), wantCells)
+		}
+		for _, s := range spans {
+			if s.Dur < 0 || s.Worker < 0 || s.Worker >= 4 {
+				t.Errorf("Workers=%d: malformed span %+v", w, s)
+			}
+		}
+		hist := inst.Metrics.Histogram("specfetch_cell_seconds", "")
+		if got := hist.Count(); got != int64(len(spans)) {
+			t.Errorf("Workers=%d: latency histogram saw %d observations, want %d", w, got, len(spans))
+		}
+	}
+}
+
 // waitGoroutines yields until the goroutine count settles back to the
 // pre-pool level (small slack for runtime/test-harness background noise).
 // Yield-based rather than clock-based so the simlint determinism gate,
@@ -87,7 +143,7 @@ func waitGoroutines(t *testing.T, before int) {
 // before any later failure can cancel it. Repeated to shake out schedules.
 func TestPoolFirstErrorDeterministic(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
-		err := pool(Options{Workers: 4}, 64, func(i int) error {
+		err := pool(Options{Workers: 4}, 64, func(_, i int) error {
 			if i == 1 || i == 3 {
 				return fmt.Errorf("boom %d", i)
 			}
@@ -107,7 +163,7 @@ func TestPoolCancelsAfterFailure(t *testing.T) {
 	before := runtime.NumGoroutine()
 	var started atomic.Int64
 	tripped := make(chan struct{})
-	err := pool(Options{Workers: workers}, n, func(i int) error {
+	err := pool(Options{Workers: workers}, n, func(_, i int) error {
 		started.Add(1)
 		if i == 2 {
 			close(tripped)
@@ -135,7 +191,7 @@ func TestPoolCancelsAfterFailure(t *testing.T) {
 // the calling goroutine and stops exactly at the first error.
 func TestPoolSerialStopsAtError(t *testing.T) {
 	var started atomic.Int64
-	err := pool(Options{Workers: 1}, 64, func(i int) error {
+	err := pool(Options{Workers: 1}, 64, func(_, i int) error {
 		started.Add(1)
 		if i == 5 {
 			return errors.New("boom")
@@ -168,7 +224,7 @@ func TestPoolPanicDrainsAndRethrows(t *testing.T) {
 				t.Fatalf("panic value = %v, want the injected *AuditError", r)
 			}
 		}()
-		_ = pool(Options{Workers: 4}, 32, func(i int) error {
+		_ = pool(Options{Workers: 4}, 32, func(_, i int) error {
 			if i == 3 {
 				panic(sentinel)
 			}
@@ -190,7 +246,7 @@ func TestPoolErrorBeatsLaterPanic(t *testing.T) {
 					t.Fatalf("trial %d: pool panicked with %v; the index-1 error should win", trial, r)
 				}
 			}()
-			return pool(Options{Workers: 4}, 64, func(i int) error {
+			return pool(Options{Workers: 4}, 64, func(_, i int) error {
 				if i == 1 {
 					return errors.New("boom 1")
 				}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -44,19 +45,35 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // --metrics-addr). Metric registration and exposition are guarded by a
 // mutex; updates to the returned Counter/Gauge handles are lock-free.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	help     map[string]string
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	help       map[string]string
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		help:     make(map[string]string),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
 	}
+}
+
+// registeredAs names the metric type name is already registered under, or
+// "" when the name is free. Callers hold r.mu.
+func (r *Registry) registeredAs(name string) string {
+	switch {
+	case r.counters[name] != nil:
+		return "counter"
+	case r.gauges[name] != nil:
+		return "gauge"
+	case r.histograms[name] != nil:
+		return "histogram"
+	}
+	return ""
 }
 
 // Counter returns the counter registered under name, creating it with the
@@ -68,8 +85,8 @@ func (r *Registry) Counter(name, help string) *Counter {
 	if c, ok := r.counters[name]; ok {
 		return c
 	}
-	if _, ok := r.gauges[name]; ok {
-		panic(fmt.Sprintf("obs: metric %q already registered as a gauge", name))
+	if typ := r.registeredAs(name); typ != "" {
+		panic(fmt.Sprintf("obs: metric %q already registered as a %s", name, typ))
 	}
 	c := &Counter{}
 	r.counters[name] = c
@@ -85,8 +102,8 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	if g, ok := r.gauges[name]; ok {
 		return g
 	}
-	if _, ok := r.counters[name]; ok {
-		panic(fmt.Sprintf("obs: metric %q already registered as a counter", name))
+	if typ := r.registeredAs(name); typ != "" {
+		panic(fmt.Sprintf("obs: metric %q already registered as a %s", name, typ))
 	}
 	g := &Gauge{}
 	r.gauges[name] = g
@@ -94,19 +111,47 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// Histogram returns the histogram registered under name, creating it with
+// the given help text on first use. Buckets are the package-fixed log-spaced
+// layout (HistogramBounds).
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	if typ := r.registeredAs(name); typ != "" {
+		panic(fmt.Sprintf("obs: metric %q already registered as a %s", name, typ))
+	}
+	h := &Histogram{}
+	r.histograms[name] = h
+	r.help[name] = help
+	return h
+}
+
 // WriteText writes the registry in the Prometheus text exposition format,
 // metrics sorted by name.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
 	type row struct {
-		name, typ, help, value string
+		name, typ, help, body string
 	}
-	rows := make([]row, 0, len(r.counters)+len(r.gauges))
+	rows := make([]row, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
 	for name, c := range r.counters {
-		rows = append(rows, row{name, "counter", r.help[name], strconv.FormatInt(c.Value(), 10)})
+		rows = append(rows, row{name, "counter",
+			r.help[name], name + " " + strconv.FormatInt(c.Value(), 10) + "\n"})
 	}
 	for name, g := range r.gauges {
-		rows = append(rows, row{name, "gauge", r.help[name], strconv.FormatFloat(g.Value(), 'g', -1, 64)})
+		rows = append(rows, row{name, "gauge",
+			r.help[name], name + " " + strconv.FormatFloat(g.Value(), 'g', -1, 64) + "\n"})
+	}
+	for name, h := range r.histograms {
+		var sb strings.Builder
+		if err := h.writeText(&sb, name); err != nil {
+			r.mu.Unlock()
+			return err
+		}
+		rows = append(rows, row{name, "histogram", r.help[name], sb.String()})
 	}
 	r.mu.Unlock()
 
@@ -117,7 +162,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 			fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help)
 		}
 		fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.typ)
-		fmt.Fprintf(bw, "%s %s\n", m.name, m.value)
+		if _, err := bw.WriteString(m.body); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: fixed log-spaced boundaries, histBucketsPerDecade
+// buckets per decade from histMin up to histMin*10^histDecades, plus one
+// overflow (+Inf) bucket. The layout is chosen for host-side latencies in
+// seconds: 1µs resolves a single fast simulation cell, 10^3 s bounds any
+// sane builder, and the growth factor 10^(1/5) ≈ 1.585 bounds the relative
+// quantile-estimation error (see Quantile).
+const (
+	histMin              = 1e-6
+	histBucketsPerDecade = 5
+	histDecades          = 9
+	numHistBuckets       = histBucketsPerDecade*histDecades + 1
+)
+
+// histBounds holds the inclusive upper bound of each finite bucket:
+// histBounds[i] = histMin * 10^(i/histBucketsPerDecade).
+var histBounds = func() [numHistBuckets]float64 {
+	var b [numHistBuckets]float64
+	for i := range b {
+		b[i] = histMin * math.Pow(10, float64(i)/histBucketsPerDecade)
+	}
+	return b
+}()
+
+// HistogramBounds returns a copy of the finite bucket boundaries (the +Inf
+// overflow bucket is implicit).
+func HistogramBounds() []float64 {
+	out := make([]float64, numHistBuckets)
+	copy(out, histBounds[:])
+	return out
+}
+
+// HistogramGrowth is the per-bucket boundary growth factor; Quantile's
+// estimate overshoots the true sample quantile by at most this factor for
+// observations within the finite bucket range.
+func HistogramGrowth() float64 {
+	return math.Pow(10, 1.0/histBucketsPerDecade)
+}
+
+// Histogram counts float64 observations in fixed log-spaced buckets. It is
+// safe for concurrent use: bucket counts are atomic and the running sum is
+// CAS-accumulated, so Observe never takes a lock. Values at or below the
+// smallest boundary land in the first bucket; values above the largest land
+// in the overflow bucket.
+type Histogram struct {
+	// counts[i] is the number of observations in bucket i (bucket
+	// numHistBuckets is the +Inf overflow bucket). Per-bucket, not
+	// cumulative; exposition cumulates on render.
+	counts [numHistBuckets + 1]atomic.Int64
+	// sumBits is the float64 bit pattern of the observation sum.
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[histBucket(v)].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// histBucket maps a value to its bucket index.
+func histBucket(v float64) int {
+	if v > histBounds[numHistBuckets-1] {
+		return numHistBuckets
+	}
+	// NaN compares false against every boundary, so SearchFloat64s returns
+	// numHistBuckets and NaN lands in the overflow bucket.
+	return sort.SearchFloat64s(histBounds[:], v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) as the upper boundary of
+// the bucket containing the rank-⌈q·count⌉ observation. For observations
+// within the finite bucket range the estimate e satisfies
+// true ≤ e < true·HistogramGrowth(), i.e. the relative error is bounded by
+// the bucket growth factor. An empty histogram returns 0; a rank landing in
+// the overflow bucket returns +Inf.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := 0; i < numHistBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return histBounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// writeText writes the histogram in the Prometheus text exposition format
+// (cumulative _bucket series plus _sum and _count), assuming the caller has
+// already emitted the HELP/TYPE header.
+func (h *Histogram) writeText(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	var cum int64
+	for i := 0; i < numHistBuckets; i++ {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, formatBound(histBounds[i]), cum)
+	}
+	cum += h.counts[numHistBuckets].Load()
+	fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(bw, "%s_sum %s\n", name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	fmt.Fprintf(bw, "%s_count %d\n", name, cum)
+	return bw.Flush()
+}
+
+// formatBound renders a bucket boundary the way Prometheus clients do:
+// shortest float64 representation.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
@@ -30,7 +31,50 @@ const (
 	tidBranch   = 5 // branch unit: resolve/mispredict instants
 )
 
-const tracePid = 1
+// Trace process ids: the simulated machine and the host-side simulator
+// render as two processes in one Perfetto view.
+const (
+	tracePid = 1
+	hostPid  = 2
+)
+
+// traceEmitter streams trace events as one Chrome trace-event JSON
+// document; the machine and host exporters share it so a combined trace is
+// a single well-formed file.
+type traceEmitter struct {
+	bw    *bufio.Writer
+	first bool
+}
+
+func newTraceEmitter(w io.Writer) (*traceEmitter, error) {
+	e := &traceEmitter{bw: bufio.NewWriter(w), first: true}
+	if _, err := e.bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *traceEmitter) emit(ev traceEvent) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	if !e.first {
+		if _, err := e.bw.WriteString(",\n"); err != nil {
+			return err
+		}
+	}
+	e.first = false
+	_, err = e.bw.Write(b)
+	return err
+}
+
+func (e *traceEmitter) close() error {
+	if _, err := e.bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return e.bw.Flush()
+}
 
 // WriteChromeTrace renders a recorded event stream as Chrome trace-event
 // JSON with one track per resource (fetch unit, bus, resume buffer,
@@ -43,25 +87,47 @@ const tracePid = 1
 // sort by ts. Span pairing (bus acquire/release, wrong-path miss/fill)
 // tolerates pairs truncated by the recorder's ring buffer.
 func WriteChromeTrace(w io.Writer, events []Event) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+	return WriteCombinedTrace(w, events, nil)
+}
+
+// WriteHostTrace renders completed host spans as Chrome trace-event JSON:
+// one "host" process with one track per pool worker, each span a slice of
+// that worker's time labelled with the work unit and its allocation count.
+// Loaded next to a machine timeline (or written into one file with
+// WriteCombinedTrace), a whole sweep renders as workers × cells.
+func WriteHostTrace(w io.Writer, spans []HostSpan) error {
+	return WriteCombinedTrace(w, nil, spans)
+}
+
+// WriteCombinedTrace renders a simulated-machine event stream (pid 1, one
+// track per modelled resource) and host-side spans (pid 2, one track per
+// worker) into a single trace file. Either part may be empty. Machine
+// timestamps are simulated cycles mapped to microseconds; host timestamps
+// are real microseconds since the tracer's epoch — the processes share a
+// file, not a clock.
+func WriteCombinedTrace(w io.Writer, events []Event, spans []HostSpan) error {
+	e, err := newTraceEmitter(w)
+	if err != nil {
 		return err
 	}
-	first := true
-	emit := func(ev traceEvent) error {
-		b, err := json.Marshal(ev)
-		if err != nil {
+	if events != nil {
+		if err := emitMachineEvents(e, events); err != nil {
 			return err
 		}
-		if !first {
-			if _, err := bw.WriteString(",\n"); err != nil {
-				return err
-			}
-		}
-		first = false
-		_, err = bw.Write(b)
-		return err
 	}
+	if spans != nil {
+		if err := emitHostSpans(e, spans); err != nil {
+			return err
+		}
+	}
+	return e.close()
+}
+
+// emitMachineEvents writes the simulated-machine process: metadata plus the
+// recorded event stream, with span pairing for bus transfers and wrong-path
+// fills.
+func emitMachineEvents(e *traceEmitter, events []Event) error {
+	emit := e.emit
 
 	meta := func(name string, tid int, args map[string]any) traceEvent {
 		return traceEvent{Name: name, Ph: "M", Pid: tracePid, Tid: tid, Args: args}
@@ -160,9 +226,42 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			return err
 		}
 	}
+	return nil
+}
 
-	if _, err := bw.WriteString("\n]}\n"); err != nil {
+// emitHostSpans writes the host process: a process_name, one thread_name
+// per worker seen in the span list, and one complete ("X") event per span.
+func emitHostSpans(e *traceEmitter, spans []HostSpan) error {
+	if err := e.emit(traceEvent{Name: "process_name", Ph: "M", Pid: hostPid, Tid: 0,
+		Args: map[string]any{"name": "host"}}); err != nil {
 		return err
 	}
-	return bw.Flush()
+	maxWorker := 0
+	for _, s := range spans {
+		if s.Worker > maxWorker {
+			maxWorker = s.Worker
+		}
+	}
+	for w := 0; w <= maxWorker; w++ {
+		if err := e.emit(traceEvent{Name: "thread_name", Ph: "M", Pid: hostPid, Tid: w + 1,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", w)}}); err != nil {
+			return err
+		}
+	}
+	for _, s := range spans {
+		args := map[string]any{"allocs": s.Allocs}
+		if s.Section != "" {
+			args["section"] = s.Section
+		}
+		if err := e.emit(traceEvent{
+			Name: s.Name, Ph: "X",
+			Ts:   s.Start.Microseconds(),
+			Dur:  s.Dur.Microseconds(),
+			Pid:  hostPid, Tid: s.Worker + 1,
+			Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"specfetch/internal/metrics"
 )
@@ -67,6 +68,94 @@ func TestChromeTraceGolden(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Errorf("trace output diverged from %s:\n got: %s\nwant: %s\n(rerun with -update if intended)",
 			path, buf.String(), want)
+	}
+}
+
+// goldenSpans is a fixed host-span set: two workers, two sections, one
+// span with allocations, one without a section label.
+func goldenSpans() []HostSpan {
+	return []HostSpan{
+		{Name: "gcc/resume", Section: "table 6", Worker: 0,
+			Start: 1 * time.Millisecond, Dur: 40 * time.Millisecond, Allocs: 1200},
+		{Name: "groff/pessimistic", Section: "table 6", Worker: 1,
+			Start: 2 * time.Millisecond, Dur: 35 * time.Millisecond, Allocs: 900},
+		{Name: "gcc/row", Worker: 0,
+			Start: 45 * time.Millisecond, Dur: 10 * time.Millisecond},
+	}
+}
+
+func TestHostTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHostTrace(&buf, goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "host_trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run HostTraceGolden -update` to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("host trace diverged from %s:\n got: %s\nwant: %s\n(rerun with -update if intended)",
+			path, buf.String(), want)
+	}
+}
+
+// TestCombinedTraceWellFormed renders a machine stream and host spans into
+// one file and checks both processes are present with distinct pids and
+// complete metadata — the "sweep next to the machine timeline" contract.
+func TestCombinedTraceWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCombinedTrace(&buf, goldenEvents(), goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	pids := map[float64]bool{}
+	var hostSpans, hostThreads int
+	var procNames []string
+	for _, ev := range doc.TraceEvents {
+		pid, _ := ev["pid"].(float64)
+		pids[pid] = true
+		ph, _ := ev["ph"].(string)
+		name, _ := ev["name"].(string)
+		if ph == "M" && name == "process_name" {
+			args, _ := ev["args"].(map[string]any)
+			pn, _ := args["name"].(string)
+			procNames = append(procNames, pn)
+		}
+		if pid == 2 {
+			switch {
+			case ph == "X":
+				hostSpans++
+			case ph == "M" && name == "thread_name":
+				hostThreads++
+			}
+		}
+	}
+	if !pids[1] || !pids[2] {
+		t.Errorf("pids seen = %v, want both 1 (machine) and 2 (host)", pids)
+	}
+	if len(procNames) != 2 || procNames[0] != "specfetch" || procNames[1] != "host" {
+		t.Errorf("process names = %v, want [specfetch host]", procNames)
+	}
+	if hostSpans != len(goldenSpans()) {
+		t.Errorf("host spans = %d, want %d", hostSpans, len(goldenSpans()))
+	}
+	if hostThreads != 2 {
+		t.Errorf("host worker tracks = %d, want 2", hostThreads)
 	}
 }
 

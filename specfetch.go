@@ -207,6 +207,33 @@ func NewAuditProbe(opt AuditOptions) *AuditProbe { return obs.NewAuditProbe(opt)
 // loadable in https://ui.perfetto.dev or chrome://tracing.
 func WriteChromeTrace(w io.Writer, events []Event) error { return obs.WriteChromeTrace(w, events) }
 
+// LatencyHistogram is a fixed-bucket log-spaced histogram metric (registered
+// via MetricsRegistry.Histogram) with Prometheus text exposition and a
+// bounded-error quantile estimator.
+type LatencyHistogram = obs.Histogram
+
+// HostSpan is one completed host-side span: a named unit of host work
+// (simulation cell, ablation row) with wall-clock timing and allocation
+// counts. Host spans measure the simulator, never the simulated machine.
+type HostSpan = obs.HostSpan
+
+// SpanTracer records HostSpans concurrently; a nil tracer is inert.
+type SpanTracer = obs.SpanTracer
+
+// NewSpanTracer builds an empty host-side span tracer.
+func NewSpanTracer() *SpanTracer { return obs.NewSpanTracer() }
+
+// WriteHostTrace renders host-side spans as Chrome trace-event JSON, one
+// track per worker.
+func WriteHostTrace(w io.Writer, spans []HostSpan) error { return obs.WriteHostTrace(w, spans) }
+
+// WriteCombinedTrace renders the machine timeline and host spans into one
+// Chrome trace: the simulated machine and the simulator that ran it,
+// side by side in https://ui.perfetto.dev.
+func WriteCombinedTrace(w io.Writer, events []Event, spans []HostSpan) error {
+	return obs.WriteCombinedTrace(w, events, spans)
+}
+
 // RunWithProbe is Run with an attached probe and sampling interval — a
 // convenience for callers that do not want to touch Config fields.
 func RunWithProbe(cfg Config, img *Image, rd TraceReader, pred Predictor, p Probe, sampleEvery int64) (Result, error) {
