@@ -4,6 +4,9 @@
 // Sweeps run as a work-list of independent simulation cells on a bounded
 // worker pool (-workers, default GOMAXPROCS) with a deterministic reduction:
 // the rendered tables and figures are byte-identical at every worker count.
+// -remote-workers dispatches the same work-list across sweepworker daemon
+// processes (see cmd/sweepworker) — still byte-identical, with automatic
+// retry, eviction, and in-process fallback when workers fail.
 // -audit-sample N attaches the runtime accounting auditor to every cell,
 // checking one pipeline window in N.
 //
@@ -29,6 +32,7 @@
 //	paperbench -table 4 -csv
 //	paperbench -all -metrics-addr :9090
 //	paperbench -all -workers 8 -audit-sample 16
+//	paperbench -all -remote-workers http://host1:8477,http://host2:8477
 //	paperbench -table 6 -bench-out BENCH_head.json -bench-label head
 //	paperbench -all -host-trace host.trace.json -cpuprofile cpu.pprof
 package main
@@ -48,6 +52,7 @@ import (
 	"sync/atomic"
 
 	"specfetch/internal/benchfmt"
+	"specfetch/internal/distsweep"
 	"specfetch/internal/experiments"
 	"specfetch/internal/hosttime"
 	"specfetch/internal/obs"
@@ -69,6 +74,7 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress per-simulation progress and the host-side summary on stderr")
 		metrics  = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics, with pprof under /debug/pprof/ (e.g. :9090)")
 		workers  = flag.Int("workers", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial); output is byte-identical at every setting")
+		remoteWk = flag.String("remote-workers", "", "comma-separated sweepworker base URLs (e.g. http://host:8477,http://host:8478); serializable sweeps fan out across these processes, output stays byte-identical")
 		auditSmp = flag.Int("audit-sample", 0, "attach the accounting auditor to every simulation, checking every Nth pipeline window (1 = every window)")
 		benchOut = flag.String("bench-out", "", "write per-builder host-side performance aggregates as BENCH JSON to this file (input for perfdiff)")
 		benchLbl = flag.String("bench-label", "paperbench", "label recorded in the -bench-out report")
@@ -152,6 +158,19 @@ func main() {
 	}
 	if !*quiet {
 		opt.Progress = func(msg string) { fmt.Fprintf(os.Stderr, "paperbench: %s\n", msg) }
+	}
+	if *remoteWk != "" {
+		opt.Remote = strings.Split(*remoteWk, ",")
+		// One coordinator for the whole campaign, so retry/eviction state
+		// spans builders: a worker evicted during table 2 stays evicted for
+		// figure 4.
+		copt := distsweep.CoordinatorOptions{Workers: opt.Remote, Metrics: reg, Spans: spans}
+		if !*quiet {
+			copt.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "paperbench: dispatch: "+format+"\n", args...)
+			}
+		}
+		opt.Dispatch = distsweep.New(copt)
 	}
 
 	if !*all && *table == 0 && *figure == 0 && *ablation == "" && *seeds == 0 && !*sweep && !*modern {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -69,5 +70,76 @@ func TestUsageErrors(t *testing.T) {
 		if code := run(args, &out, &errb); code != 2 {
 			t.Errorf("run(%v) exit = %d, want 2", args, code)
 		}
+	}
+}
+
+// writeTemp drops content into a temp file and returns its path.
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestMalformedInputs: syntactically broken or truncated BENCH JSON is an
+// I/O error (exit 2) with a diagnostic, never a silent 0/1 verdict.
+func TestMalformedInputs(t *testing.T) {
+	good := filepath.Join("testdata", "base.json")
+	base, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"not json":      "this is not json\n",
+		"truncated":     string(base[:len(base)/2]),
+		"empty":         "",
+		"wrong shape":   `["array","not","object"]`,
+		"unknown field": `{"label":"x","bogus_field":1}`,
+	}
+	for name, content := range cases {
+		bad := writeTemp(t, "bad.json", content)
+		for _, args := range [][]string{{bad, good}, {good, bad}} {
+			var out, errb bytes.Buffer
+			if code := run(args, &out, &errb); code != 2 {
+				t.Errorf("%s (as %s): exit = %d, want 2\nstdout: %s", name, args[0], code, out.String())
+			}
+			if !strings.Contains(errb.String(), "perfdiff:") {
+				t.Errorf("%s: no diagnostic on stderr", name)
+			}
+		}
+	}
+}
+
+// TestMismatchedBuilderSets: builders present on one side only are
+// reported as added/removed rows, never as regressions — a renamed builder
+// should fail review, not the perf gate.
+func TestMismatchedBuilderSets(t *testing.T) {
+	head := writeTemp(t, "head.json", `{
+  "label": "head",
+  "go_version": "go1.22.0",
+  "gomaxprocs": 4,
+  "workers": 4,
+  "insts_per_cell": 200000,
+  "builders": [
+    {"name": "table 6", "cells": 10, "wall_seconds": 1.2, "cells_per_sec": 8.3, "allocs": 1, "p50_seconds": 0.1, "p95_seconds": 0.1, "p99_seconds": 0.1},
+    {"name": "table 9", "cells": 10, "wall_seconds": 9.9, "cells_per_sec": 1.0, "allocs": 1, "p50_seconds": 1, "p95_seconds": 1, "p99_seconds": 1}
+  ]
+}`)
+	var out, errb bytes.Buffer
+	code := run([]string{filepath.Join("testdata", "base.json"), head}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("mismatched sets exit = %d, want 0 (missing builders are not regressions)\nstderr: %s", code, errb.String())
+	}
+	o := out.String()
+	if !strings.Contains(o, "removed") {
+		t.Errorf("old-only builder (figure 1) not reported as removed:\n%s", o)
+	}
+	if !strings.Contains(o, "added") {
+		t.Errorf("new-only builder (table 9) not reported as added:\n%s", o)
+	}
+	if strings.Contains(o, "REGRESSION") {
+		t.Errorf("mismatched builder sets flagged a regression:\n%s", o)
 	}
 }

@@ -4,6 +4,11 @@
 // enumswitch (exhaustive switches over module enums), and errcheck
 // (no discarded errors in codecs and CLI I/O). It is a hard-fail CI gate.
 //
+// Packages are linted as a build-tag matrix: once under the default tag
+// set and once more per custom build tag found in their files, so code
+// gated behind //go:build tags is analyzed too. Findings are merged and
+// deduplicated across the variants.
+//
 // Usage:
 //
 //	simlint ./...                      # whole module (testdata skipped)
@@ -54,23 +59,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	pkgs, err := analysis.Load(cwd, patterns)
+	variants, err := analysis.LoadMatrix(cwd, patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 		os.Exit(2)
 	}
 	loadOK := true
-	for _, pkg := range pkgs {
-		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", pkg.PkgPath, terr)
-			loadOK = false
+	for _, v := range variants {
+		for _, pkg := range v.Pkgs {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "simlint: %s (%s): %v\n", pkg.PkgPath, v.Label(), terr)
+				loadOK = false
+			}
 		}
 	}
 	if !loadOK {
 		os.Exit(2)
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
+	diags := analysis.RunMatrix(variants, analyzers)
 	for _, d := range diags {
 		emit(d.String(cwd))
 	}

@@ -147,6 +147,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
 		}
 	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics orders findings by position, then analyzer name.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -160,7 +166,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }
 
 // inspectWithStack walks every file, calling visit with the full ancestor

@@ -23,6 +23,11 @@ import (
 // Conjunctions widen then-guards (p != nil && x), disjunctions widen
 // nil-tests (p == nil || x). Guards do not cross function-literal
 // boundaries: a closure may run after the guard's check went stale.
+//
+// A guard is also rejected when the guarded field is assigned between the
+// nil check and the call (`if e.probe != nil { e.probe = nil; e.probe.Hook() }`):
+// the check no longer speaks for the value being dereferenced. Writes
+// nested in function literals are ignored — they execute later, if ever.
 var ProbeGuard = &Analyzer{
 	Name:      "probeguard",
 	Doc:       "probe/sampler hook calls in the engine must be nil-guarded",
@@ -41,10 +46,16 @@ func runProbeGuard(pass *Pass) {
 			return true
 		}
 		recvStr := types.ExprString(recv)
-		if !guarded(stack, recvStr) {
+		ok, stale := guarded(stack, recvStr, call.Pos())
+		if !ok {
 			sel := call.Fun.(*ast.SelectorExpr)
-			pass.Reportf(call.Pos(), "%s.%s called without a dominating `%s != nil` check (zero-overhead probe contract)",
-				recvStr, sel.Sel.Name, recvStr)
+			if stale {
+				pass.Reportf(call.Pos(), "%s.%s: nil guard invalidated by a write to %s between the check and the call (zero-overhead probe contract)",
+					recvStr, sel.Sel.Name, recvStr)
+			} else {
+				pass.Reportf(call.Pos(), "%s.%s called without a dominating `%s != nil` check (zero-overhead probe contract)",
+					recvStr, sel.Sel.Name, recvStr)
+			}
 		}
 		return true
 	})
@@ -71,36 +82,49 @@ func probeReceiver(call *ast.CallExpr) ast.Expr {
 }
 
 // guarded reports whether the innermost stack node (the call) is dominated
-// by a nil check for recv.
-func guarded(stack []ast.Node, recv string) bool {
+// by a nil check for recv that is still valid at the call: a guard whose
+// dominated region assigns to recv before the call no longer speaks for
+// the dereferenced value. stale is true when at least one guard matched
+// but every match was invalidated by such a write.
+func guarded(stack []ast.Node, recv string, callPos token.Pos) (ok, stale bool) {
 	child := stack[len(stack)-1]
 	for i := len(stack) - 2; i >= 0; i-- {
 		switch n := stack[i].(type) {
 		case *ast.FuncDecl, *ast.FuncLit:
-			return false // guards don't cross function boundaries
+			return false, stale // guards don't cross function boundaries
 		case *ast.IfStmt:
 			if child == n.Body && impliesNonNil(n.Cond, recv) {
-				return true
+				if !assignsWithin(n.Body, recv, n.Body.Pos(), callPos) {
+					return true, false
+				}
+				stale = true
 			}
 			if child == n.Else && impliedByNil(n.Cond, recv) {
-				return true
+				if !assignsWithin(n.Else, recv, n.Else.Pos(), callPos) {
+					return true, false
+				}
+				stale = true
 			}
 		case *ast.BlockStmt:
-			if leadingGuard(n, child, recv) {
-				return true
+			if end, found := leadingGuard(n, child, recv); found {
+				if !assignsWithin(n, recv, end, callPos) {
+					return true, false
+				}
+				stale = true
 			}
 		}
 		child = stack[i]
 	}
-	return false
+	return false, stale
 }
 
 // leadingGuard scans the statements of block before the one containing
-// child for an `if recv == nil { return/panic }` early-out.
-func leadingGuard(block *ast.BlockStmt, child ast.Node, recv string) bool {
+// child for an `if recv == nil { return/panic }` early-out, returning the
+// guard's end position on a match.
+func leadingGuard(block *ast.BlockStmt, child ast.Node, recv string) (token.Pos, bool) {
 	for _, stmt := range block.List {
 		if stmt == child {
-			return false
+			return token.NoPos, false
 		}
 		ifs, ok := stmt.(*ast.IfStmt)
 		if !ok || ifs.Init != nil || !impliedByNil(ifs.Cond, recv) {
@@ -111,16 +135,44 @@ func leadingGuard(block *ast.BlockStmt, child ast.Node, recv string) bool {
 		}
 		switch last := ifs.Body.List[len(ifs.Body.List)-1].(type) {
 		case *ast.ReturnStmt, *ast.BranchStmt:
-			return true
+			return ifs.End(), true
 		case *ast.ExprStmt:
 			if c, ok := last.X.(*ast.CallExpr); ok {
 				if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "panic" {
-					return true
+					return ifs.End(), true
 				}
 			}
 		}
 	}
-	return false
+	return token.NoPos, false
+}
+
+// assignsWithin reports whether region assigns to recv strictly inside the
+// (after, before) position window. Function literals are skipped: a write
+// inside a closure defined between guard and call runs later, if ever, so
+// it cannot invalidate the straight-line guard.
+func assignsWithin(region ast.Node, recv string, after, before token.Pos) bool {
+	found := false
+	ast.Inspect(region, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if x.Pos() <= after || x.Pos() >= before {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				if types.ExprString(ast.Unparen(lhs)) == recv {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
 }
 
 // impliesNonNil: cond true ⇒ recv != nil.

@@ -68,3 +68,48 @@ func (e *engine) disjunctionTooWeak(cy int64, on bool) {
 		e.probe.Fire(cy)
 	}
 }
+
+func (e *engine) staleGuardNilWrite(cy int64) {
+	if e.probe != nil {
+		e.probe = nil
+		e.probe.Fire(cy)
+	}
+}
+
+func (e *engine) staleGuardAfterEarlyOut(cy int64, h hook) {
+	if e.probe == nil {
+		return
+	}
+	e.probe = h
+	e.probe.Fire(cy)
+}
+
+func (e *engine) writeBeforeGuardOK(cy int64, h hook) {
+	e.probe = h
+	if e.probe != nil {
+		e.probe.Fire(cy)
+	}
+}
+
+func (e *engine) writeAfterCallOK(cy int64) {
+	if e.probe != nil {
+		e.probe.Fire(cy)
+		e.probe = nil
+	}
+}
+
+func (e *engine) closureWriteDoesNotInvalidate(cy int64) func() {
+	if e.probe != nil {
+		later := func() { e.probe = nil }
+		e.probe.Fire(cy)
+		return later
+	}
+	return nil
+}
+
+func (e *engine) unrelatedWriteOK(cy int64, h hook) {
+	if e.probe != nil {
+		e.sampler = h
+		e.probe.Fire(cy)
+	}
+}

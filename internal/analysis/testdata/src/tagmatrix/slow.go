@@ -1,0 +1,12 @@
+//go:build slowclock
+
+package tagmatrix
+
+import "time"
+
+// Stamp reads the wall clock, but only builds under -tags slowclock: a
+// default-tag lint never parses this file, so the finding below proves
+// the matrix variant ran.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+// Package tagmatrix is the tag-matrix fixture: the always-built file has
+// one finding (seen by every matrix variant, reported once), and a second
+// finding hides behind the slowclock build tag — only a matrix load that
+// re-parses the package with the tag enabled sees it.
+package tagmatrix
+
+import "math/rand"
+
+// Roll draws from the process-global generator: a determinism finding in
+// every variant, which the matrix must deduplicate to one.
+func Roll() int {
+	return rand.Intn(6)
+}

@@ -190,3 +190,52 @@ func TestFormatDeltas(t *testing.T) {
 		}
 	}
 }
+
+// TestCompareZeroTimeSides: a builder measuring zero wall time on exactly
+// one side has no meaningful ratio. It must surface as an Indeterminate
+// flagged row — never as a NaN/Inf ratio (which would always or never trip
+// the gate), never as a regression, and never inside the geomean.
+func TestCompareZeroTimeSides(t *testing.T) {
+	zero := Report{Builders: []Builder{NewBuilder("b", 0, nil, 0)}}
+	nonzero := Report{Builders: []Builder{NewBuilder("b", 1.0, []float64{0.1}, 0)}}
+
+	for name, pair := range map[string][2]Report{
+		"zero old": {zero, nonzero},
+		"zero new": {nonzero, zero},
+	} {
+		deltas := Compare(pair[0], pair[1], 0)
+		if len(deltas) != 1 {
+			t.Fatalf("%s: %d deltas, want 1", name, len(deltas))
+		}
+		d := deltas[0]
+		if !d.Indeterminate {
+			t.Errorf("%s: not marked Indeterminate: %+v", name, d)
+		}
+		if d.Regression {
+			t.Errorf("%s: flagged as regression", name)
+		}
+		if math.IsNaN(d.Ratio) || math.IsInf(d.Ratio, 0) {
+			t.Errorf("%s: ratio = %g, want finite", name, d.Ratio)
+		}
+		if g := GeomeanRatio(deltas); g != 1 {
+			t.Errorf("%s: geomean = %g, want 1 (indeterminate rows excluded)", name, g)
+		}
+		var buf bytes.Buffer
+		if err := FormatDeltas(&buf, deltas, 0); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+			t.Errorf("%s: rendered Inf/NaN:\n%s", name, out)
+		}
+		if !strings.Contains(out, "ZERO-TIME") {
+			t.Errorf("%s: indeterminate row not flagged in output:\n%s", name, out)
+		}
+	}
+
+	// Both sides zero is vacuously unchanged, not indeterminate.
+	d := Compare(zero, zero, 0)[0]
+	if d.Indeterminate || d.Regression || d.Ratio != 1 {
+		t.Errorf("zero-vs-zero delta = %+v, want ratio 1, no flags", d)
+	}
+}

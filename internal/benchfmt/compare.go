@@ -14,10 +14,17 @@ type Delta struct {
 	Name          string
 	OldSecPerCell float64
 	NewSecPerCell float64
-	// Ratio is New/Old seconds-per-cell; 1.0 means unchanged.
+	// Ratio is New/Old seconds-per-cell; 1.0 means unchanged. Zero when
+	// the delta is Indeterminate.
 	Ratio float64
 	// Missing marks a builder present in only one report (no ratio).
 	Missing bool
+	// Indeterminate marks a matched builder where exactly one side
+	// measured zero time (zero cells and zero wall seconds): there is no
+	// meaningful ratio, so the row is flagged for a human instead of
+	// contributing a NaN/Inf that would either always or never trip the
+	// gate.
+	Indeterminate bool
 	// Regression is set when Ratio exceeds 1+threshold.
 	Regression bool
 }
@@ -47,14 +54,15 @@ func Compare(old, head Report, threshold float64) []Delta {
 			OldSecPerCell: secPerCell(ob),
 			NewSecPerCell: secPerCell(nb),
 		}
-		if d.OldSecPerCell > 0 {
+		switch {
+		case d.OldSecPerCell > 0 && d.NewSecPerCell > 0:
 			d.Ratio = d.NewSecPerCell / d.OldSecPerCell
-		} else if d.NewSecPerCell == 0 {
+			d.Regression = d.Ratio > 1+threshold
+		case d.OldSecPerCell == 0 && d.NewSecPerCell == 0:
 			d.Ratio = 1
-		} else {
-			d.Ratio = math.Inf(1)
+		default:
+			d.Indeterminate = true
 		}
-		d.Regression = d.Ratio > 1+threshold
 		deltas = append(deltas, d)
 	}
 	for _, nb := range head.Builders {
@@ -89,7 +97,7 @@ func AnyRegression(deltas []Delta) bool {
 func GeomeanRatio(deltas []Delta) float64 {
 	sum, n := 0.0, 0
 	for _, d := range deltas {
-		if d.Missing || d.Ratio <= 0 || math.IsInf(d.Ratio, 0) {
+		if d.Missing || d.Indeterminate || d.Ratio <= 0 || math.IsInf(d.Ratio, 0) {
 			continue
 		}
 		sum += math.Log(d.Ratio)
@@ -113,6 +121,9 @@ func FormatDeltas(w io.Writer, deltas []Delta, threshold float64) error {
 			fmt.Fprintf(bw, "%-24s %14s %14s %10s\n", d.Name, fmtSec(d.OldSecPerCell), "-", "removed")
 		case d.Missing:
 			fmt.Fprintf(bw, "%-24s %14s %14s %10s\n", d.Name, "-", fmtSec(d.NewSecPerCell), "added")
+		case d.Indeterminate:
+			fmt.Fprintf(bw, "%-24s %14s %14s %10s  ZERO-TIME SIDE\n",
+				d.Name, fmtSec(d.OldSecPerCell), fmtSec(d.NewSecPerCell), "n/a")
 		default:
 			mark := ""
 			if d.Regression {

@@ -1,0 +1,49 @@
+package bpred
+
+import "fmt"
+
+// Registered predictor kind names. A kind is a complete description of a
+// branch architecture at the default paper-era budgets, so a plain string
+// can stand in for a constructor anywhere a sweep cell has to be
+// serialized — the distributed executor ships kinds over the wire and
+// rebuilds the predictor on the worker.
+const (
+	KindDecoupled = "decoupled" // BTB + gshare PHT (the paper's baseline)
+	KindLocal     = "local"     // BTB + per-branch local history (PAg)
+	KindCoupled   = "coupled"   // Pentium-style counter-in-BTB
+	KindStatic    = "static"    // always not-taken, never learns
+)
+
+// Kinds lists the registered predictor kinds in ablation display order.
+func Kinds() []string {
+	return []string{KindDecoupled, KindLocal, KindCoupled, KindStatic}
+}
+
+// ByName maps a predictor kind to a constructor for a fresh instance. The
+// empty string selects the default decoupled architecture, so zero-valued
+// cells keep their historical meaning.
+func ByName(kind string) (func() Predictor, error) {
+	switch kind {
+	case "", KindDecoupled:
+		return func() Predictor { return NewDefaultDecoupled() }, nil
+	case KindLocal:
+		return func() Predictor {
+			l, err := NewDecoupledLocal(DefaultBTBConfig(), DefaultLocalConfig())
+			if err != nil {
+				panic(err) // defaults are statically valid
+			}
+			return l
+		}, nil
+	case KindCoupled:
+		return func() Predictor {
+			c, err := NewCoupled(DefaultBTBConfig())
+			if err != nil {
+				panic(err) // defaults are statically valid
+			}
+			return c
+		}, nil
+	case KindStatic:
+		return func() Predictor { return Static{} }, nil
+	}
+	return nil, fmt.Errorf("bpred: unknown predictor kind %q", kind)
+}

@@ -1,0 +1,396 @@
+package distsweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"specfetch/internal/obs"
+)
+
+// fakeResult derives a deterministic JobResult from a spec, standing in
+// for a real simulation in protocol tests.
+func fakeResult(spec JobSpec) JobResult {
+	res := fixtureBatchResult().Results[0].Result
+	res.Insts = spec.Insts
+	res.Cycles = int64(spec.Seed) + spec.Insts
+	res.Lost[0] = int64(spec.Seed)
+	return JobResult{Result: res, Audit: res.AuditFinal()}
+}
+
+func fakeRunner(spec JobSpec) (JobResult, error) { return fakeResult(spec), nil }
+
+// testJobs builds n valid specs distinguished by seed.
+func testJobs(n int) []JobSpec {
+	jobs := make([]JobSpec, n)
+	for i := range jobs {
+		jobs[i] = fixtureBatch().Jobs[1]
+		jobs[i].Seed = uint64(1000 + i)
+	}
+	return jobs
+}
+
+// wantResults is what any correct execution of testJobs must produce.
+func wantResults(jobs []JobSpec) []JobResult {
+	out := make([]JobResult, len(jobs))
+	for i, j := range jobs {
+		out[i] = fakeResult(j)
+	}
+	return out
+}
+
+// localRunner returns a LocalRunner computing fakeResult in-process and
+// counting invocations.
+func localRunner(calls *atomic.Int64) LocalRunner {
+	return func(offset int, jobs []JobSpec) ([]JobResult, error) {
+		calls.Add(1)
+		out := make([]JobResult, len(jobs))
+		for i, j := range jobs {
+			out[i] = fakeResult(j)
+		}
+		return out, nil
+	}
+}
+
+// newWorker spins up a real protocol server over fakeRunner. perJob > 0
+// slows each job down, so tests can keep a worker busy long enough for a
+// peer to participate.
+func newWorker(t *testing.T, perJob time.Duration) *httptest.Server {
+	t.Helper()
+	runner := fakeRunner
+	if perJob > 0 {
+		runner = func(spec JobSpec) (JobResult, error) {
+			time.Sleep(perJob)
+			return fakeResult(spec), nil
+		}
+	}
+	srv := httptest.NewServer(NewServer(ServerOptions{Runner: runner}).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func fastOptions(workers ...string) CoordinatorOptions {
+	return CoordinatorOptions{
+		Workers:     workers,
+		BatchSize:   3,
+		Timeout:     2 * time.Second,
+		Retries:     3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		EvictAfter:  2,
+	}
+}
+
+// TestCoordinatorHappyPath: every batch completes remotely; the local
+// runner is never consulted; results land at their indexes.
+func TestCoordinatorHappyPath(t *testing.T) {
+	w1, w2 := newWorker(t, 0), newWorker(t, 0)
+	reg := obs.NewRegistry()
+	opt := fastOptions(w1.URL, w2.URL)
+	opt.Metrics = reg
+	c := New(opt)
+
+	jobs := testJobs(10)
+	var localCalls atomic.Int64
+	var remoted atomic.Int64
+	got, err := c.Run(jobs, localRunner(&localCalls), func(offset int, res []JobResult) {
+		remoted.Add(int64(len(res)))
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(got, wantResults(jobs)) {
+		t.Error("remote results differ from direct computation")
+	}
+	if localCalls.Load() != 0 {
+		t.Errorf("local runner called %d times on the happy path", localCalls.Load())
+	}
+	if remoted.Load() != int64(len(jobs)) {
+		t.Errorf("onRemote saw %d jobs, want %d", remoted.Load(), len(jobs))
+	}
+	if v := reg.Counter("specfetch_dispatch_jobs_total", "").Value(); v != int64(len(jobs)) {
+		t.Errorf("dispatch jobs counter = %d, want %d", v, len(jobs))
+	}
+}
+
+// flakyHandler wraps a healthy worker and misbehaves in a configurable way
+// for the first `bad` requests.
+type flakyHandler struct {
+	inner http.Handler
+	bad   atomic.Int64
+	mode  string // "drop", "corrupt", "delay", "tamper"
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.HasPrefix(r.URL.Path, "/v1/") || f.bad.Add(-1) < 0 {
+		f.inner.ServeHTTP(w, r)
+		return
+	}
+	switch f.mode {
+	case "drop":
+		w.WriteHeader(http.StatusInternalServerError)
+	case "corrupt":
+		_, _ = w.Write([]byte(`{"version":1,"id":`)) // truncated JSON
+	case "delay":
+		time.Sleep(500 * time.Millisecond)
+		w.WriteHeader(http.StatusInternalServerError)
+	case "tamper":
+		rec := httptest.NewRecorder()
+		f.inner.ServeHTTP(rec, r)
+		var br BatchResult
+		if err := json.Unmarshal(rec.Body.Bytes(), &br); err != nil || len(br.Results) == 0 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		// Claim fewer cycles than the audited run: the self-check identity
+		// no longer holds.
+		br.Results[0].Result.Cycles -= 17
+		_ = json.NewEncoder(w).Encode(br)
+	default:
+		panic("unknown mode " + f.mode)
+	}
+}
+
+// TestCoordinatorFaultInjection: a worker that drops, corrupts, delays, or
+// tampers with batches mid-sweep never changes the reduced results — the
+// batches are retried on the healthy worker without any local fallback.
+func TestCoordinatorFaultInjection(t *testing.T) {
+	for _, mode := range []string{"drop", "corrupt", "delay", "tamper"} {
+		t.Run(mode, func(t *testing.T) {
+			// The healthy worker is slowed so the flaky one keeps pulling
+			// batches instead of watching the queue drain.
+			healthy := newWorker(t, 5*time.Millisecond)
+			flaky := &flakyHandler{inner: NewServer(ServerOptions{Runner: fakeRunner}).Handler(), mode: mode}
+			flaky.bad.Store(1 << 30) // misbehave forever
+			flakySrv := httptest.NewServer(flaky)
+			t.Cleanup(flakySrv.Close)
+
+			reg := obs.NewRegistry()
+			opt := fastOptions(healthy.URL, flakySrv.URL)
+			if mode == "delay" {
+				opt.Timeout = 100 * time.Millisecond
+			}
+			opt.Metrics = reg
+			c := New(opt)
+
+			jobs := testJobs(18)
+			var localCalls atomic.Int64
+			got, err := c.Run(jobs, localRunner(&localCalls), nil)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !reflect.DeepEqual(got, wantResults(jobs)) {
+				t.Error("results differ with a faulty worker in the fleet")
+			}
+			if localCalls.Load() != 0 {
+				t.Errorf("local fallback ran %d times; survivors should have absorbed the batches", localCalls.Load())
+			}
+			if v := reg.Counter("specfetch_dispatch_retries_total", "").Value(); v < 1 {
+				t.Errorf("retries = %d, want >= 1", v)
+			}
+			if mode == "tamper" {
+				if v := reg.Counter("specfetch_dispatch_audit_rejects_total", "").Value(); v < 1 {
+					t.Errorf("audit rejects = %d, want >= 1", v)
+				}
+			}
+		})
+	}
+}
+
+// TestCoordinatorEviction: a lone worker failing every batch is evicted
+// after exactly EvictAfter consecutive failures, and the whole sweep
+// completes through local fallback.
+func TestCoordinatorEviction(t *testing.T) {
+	flaky := &flakyHandler{inner: NewServer(ServerOptions{Runner: fakeRunner}).Handler(), mode: "drop"}
+	flaky.bad.Store(1 << 30)
+	srv := httptest.NewServer(flaky)
+	t.Cleanup(srv.Close)
+
+	reg := obs.NewRegistry()
+	opt := fastOptions(srv.URL)
+	opt.Metrics = reg
+	c := New(opt)
+
+	jobs := testJobs(12)
+	var localCalls atomic.Int64
+	got, err := c.Run(jobs, localRunner(&localCalls), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(got, wantResults(jobs)) {
+		t.Error("results differ after eviction + local fallback")
+	}
+	if len(c.Alive()) != 0 {
+		t.Errorf("failing worker still alive: %v", c.Alive())
+	}
+	if v := reg.Counter("specfetch_dispatch_evictions_total", "").Value(); v != 1 {
+		t.Errorf("evictions = %d, want 1", v)
+	}
+	if v := reg.Counter("specfetch_dispatch_retries_total", "").Value(); v != int64(fastOptions().EvictAfter) {
+		t.Errorf("retries = %d, want exactly EvictAfter (%d)", v, fastOptions().EvictAfter)
+	}
+	if localCalls.Load() == 0 {
+		t.Error("no local fallback after the only worker was evicted")
+	}
+}
+
+// TestCoordinatorAllWorkersGone: with every worker unreachable, the whole
+// sweep falls back to local execution and still completes.
+func TestCoordinatorAllWorkersGone(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	dead.Close() // nothing listens here any more
+	c := New(fastOptions(dead.URL))
+
+	jobs := testJobs(7)
+	var localCalls atomic.Int64
+	got, err := c.Run(jobs, localRunner(&localCalls), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(got, wantResults(jobs)) {
+		t.Error("local-fallback results differ")
+	}
+	if localCalls.Load() == 0 {
+		t.Error("local runner never ran with a dead fleet")
+	}
+	if len(c.Alive()) != 0 {
+		t.Errorf("dead worker still alive: %v", c.Alive())
+	}
+
+	// A later sweep on the same coordinator skips remote entirely.
+	localCalls.Store(0)
+	if _, err := c.Run(testJobs(3), localRunner(&localCalls), nil); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if localCalls.Load() == 0 {
+		t.Error("second sweep did not fall back locally")
+	}
+}
+
+// TestCoordinatorPermanentError: a job the worker rejects as unrunnable
+// (4xx) is not retried remotely; the local runner decides the sweep's
+// deterministic outcome.
+func TestCoordinatorPermanentError(t *testing.T) {
+	boom := fmt.Errorf("engine exploded deterministically")
+	srv := httptest.NewServer(NewServer(ServerOptions{Runner: func(spec JobSpec) (JobResult, error) {
+		return JobResult{}, boom
+	}}).Handler())
+	t.Cleanup(srv.Close)
+
+	reg := obs.NewRegistry()
+	opt := fastOptions(srv.URL)
+	opt.Metrics = reg
+	c := New(opt)
+
+	jobs := testJobs(2)
+	var localCalls atomic.Int64
+	wantErr := fmt.Errorf("local says no")
+	_, err := c.Run(jobs, func(offset int, js []JobSpec) ([]JobResult, error) {
+		localCalls.Add(1)
+		return nil, wantErr
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "local says no") {
+		t.Fatalf("err = %v, want the local runner's verdict", err)
+	}
+	if localCalls.Load() == 0 {
+		t.Fatal("local runner never consulted for the permanent error")
+	}
+	// The worker stays alive — the batch was at fault, not the worker.
+	if len(c.Alive()) != 1 {
+		t.Errorf("healthy worker evicted over a permanent job error; alive=%v", c.Alive())
+	}
+	if v := reg.Counter("specfetch_dispatch_retries_total", "").Value(); v != 0 {
+		t.Errorf("permanent error burned %d retries", v)
+	}
+}
+
+// TestCoordinatorVersionMismatch: a worker speaking a different wire
+// version is rejected up front by its own 400, and the sweep still
+// completes through local fallback.
+func TestCoordinatorVersionMismatch(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(ErrorBody{Error: "wire version 99, worker speaks 1", Job: -1})
+	}))
+	t.Cleanup(srv.Close)
+	c := New(fastOptions(srv.URL))
+
+	jobs := testJobs(3)
+	var localCalls atomic.Int64
+	got, err := c.Run(jobs, localRunner(&localCalls), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(got, wantResults(jobs)) {
+		t.Error("results differ after version-mismatch fallback")
+	}
+	if localCalls.Load() == 0 {
+		t.Error("version mismatch did not fall back locally")
+	}
+}
+
+// TestServerRejects covers the worker-side 400/422 surface.
+func TestServerRejects(t *testing.T) {
+	srv := newWorker(t, 0)
+	post := func(body string) (int, ErrorBody) {
+		resp, err := http.Post(srv.URL+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		var eb ErrorBody
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		return resp.StatusCode, eb
+	}
+
+	if code, _ := post("{not json"); code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", code)
+	}
+	if code, _ := post(`{"version":99,"id":1,"jobs":[]}`); code != http.StatusBadRequest {
+		t.Errorf("version mismatch: status %d, want 400", code)
+	}
+	if code, _ := post(`{"version":1,"id":1,"jobs":[]}`); code != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", code)
+	}
+	bad := fixtureBatch()
+	bad.Jobs[0].Pred = "perceptron"
+	raw, err := json.Marshal(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, eb := post(string(raw))
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("invalid job: status %d, want 422", code)
+	}
+	if eb.Job != 0 {
+		t.Errorf("invalid job index = %d, want 0", eb.Job)
+	}
+}
+
+// TestServerHealthz: the daemon self-reports protocol version and work
+// done.
+func TestServerHealthz(t *testing.T) {
+	srv := newWorker(t, 0)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var h struct {
+		Status   string `json:"status"`
+		Version  int    `json:"version"`
+		JobsDone int64  `json:"jobs_done"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if h.Status != "ok" || h.Version != WireVersion {
+		t.Errorf("healthz = %+v", h)
+	}
+}

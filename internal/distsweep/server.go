@@ -1,0 +1,152 @@
+package distsweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"specfetch/internal/obs"
+)
+
+// Runner executes one validated job spec and returns the result plus the
+// audit identity the run was verified against. The experiments package
+// supplies the production runner (spec → bench → simulate); tests supply
+// fakes. A Runner must be safe for concurrent use: the HTTP server invokes
+// it from one goroutine per in-flight batch.
+type Runner func(spec JobSpec) (JobResult, error)
+
+// ServerOptions configures a worker-side batch server.
+type ServerOptions struct {
+	// Runner executes each job; required.
+	Runner Runner
+	// Metrics, when non-nil, receives worker-side counters
+	// (specfetch_worker_*) and is exposed at /metrics on the handler.
+	Metrics *obs.Registry
+	// MaxBatchJobs rejects batches larger than this with HTTP 400;
+	// 0 means the default of 4096.
+	MaxBatchJobs int
+}
+
+// Server is the worker half of the protocol: it decodes batches, runs each
+// job through the Runner in job order, and returns job-ordered results.
+// Jobs within one batch run serially; process-level parallelism comes from
+// running more workers (or pointing several coordinators at one worker).
+type Server struct {
+	opt  ServerOptions
+	mux  *http.ServeMux
+	jobs atomic.Int64 // jobs completed since start, reported by /healthz
+}
+
+// NewServer builds a worker server around a Runner.
+func NewServer(opt ServerOptions) *Server {
+	if opt.Runner == nil {
+		panic("distsweep: ServerOptions.Runner is required")
+	}
+	if opt.MaxBatchJobs <= 0 {
+		opt.MaxBatchJobs = 4096
+	}
+	s := &Server{opt: opt, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	if opt.Metrics != nil {
+		s.mux.Handle("GET /metrics", opt.Metrics.Handler())
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving /healthz, /v1/run, and (with
+// metrics configured) /metrics.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	// Ignoring the write error: the peer hanging up mid-health-check needs
+	// no recovery beyond dropping the connection.
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":    "ok",
+		"version":   WireVersion,
+		"jobs_done": s.jobs.Load(),
+	})
+}
+
+// fail writes an ErrorBody with the given status. 4xx means the batch (or
+// a job in it) is permanently unrunnable — the coordinator must not burn
+// retries on it; 5xx means this worker failed and another may succeed.
+func (s *Server) fail(w http.ResponseWriter, status int, job int, format string, args ...any) {
+	if s.opt.Metrics != nil {
+		s.opt.Metrics.Counter("specfetch_worker_batch_errors_total",
+			"Batches answered with an error status.").Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorBody{Error: fmt.Sprintf(format, args...), Job: job})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var batch Batch
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&batch); err != nil {
+		s.fail(w, http.StatusBadRequest, -1, "decoding batch: %v", err)
+		return
+	}
+	if batch.Version != WireVersion {
+		s.fail(w, http.StatusBadRequest, -1,
+			"wire version %d, worker speaks %d", batch.Version, WireVersion)
+		return
+	}
+	if len(batch.Jobs) == 0 || len(batch.Jobs) > s.opt.MaxBatchJobs {
+		s.fail(w, http.StatusBadRequest, -1,
+			"batch has %d jobs (limit %d)", len(batch.Jobs), s.opt.MaxBatchJobs)
+		return
+	}
+	for i, job := range batch.Jobs {
+		if err := job.Validate(); err != nil {
+			s.fail(w, http.StatusUnprocessableEntity, i, "job %d: %v", i, err)
+			return
+		}
+	}
+
+	out := BatchResult{Version: WireVersion, ID: batch.ID, Results: make([]JobResult, 0, len(batch.Jobs))}
+	for i, job := range batch.Jobs {
+		res, err := s.runJob(job)
+		if err != nil {
+			// A failing simulation is deterministic: every retry would fail
+			// identically, so report it permanent (422) with the job index.
+			s.fail(w, http.StatusUnprocessableEntity, i, "job %d: %v", i, err)
+			return
+		}
+		out.Results = append(out.Results, res)
+		s.jobs.Add(1)
+		if s.opt.Metrics != nil {
+			s.opt.Metrics.Counter("specfetch_worker_jobs_total",
+				"Sweep jobs completed by this worker.").Inc()
+		}
+	}
+	if s.opt.Metrics != nil {
+		s.opt.Metrics.Counter("specfetch_worker_batches_total",
+			"Batches completed by this worker.").Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		// Headers are already out; nothing more to tell the peer. The
+		// coordinator sees a truncated body and treats it as a worker fault.
+		return
+	}
+}
+
+// runJob invokes the Runner, converting a sampled-audit stream-violation
+// panic (*obs.AuditError) into an error so one poisoned job cannot take
+// down the daemon.
+func (s *Server) runJob(job JobSpec) (res JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if aerr, ok := r.(*obs.AuditError); ok {
+				err = aerr
+				return
+			}
+			panic(r)
+		}
+	}()
+	return s.opt.Runner(job)
+}

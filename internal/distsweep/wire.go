@@ -1,0 +1,189 @@
+// Package distsweep executes sweep work-lists across process boundaries: a
+// coordinator partitions serializable job specs into batches, POSTs them to
+// long-running sweepworker daemons over HTTP/JSON, and reduces the returned
+// results in canonical work-list order, so rendered artifacts are
+// byte-identical to an in-process run at any worker and process count.
+//
+// The package deliberately knows nothing about internal/experiments: it
+// ships JobSpecs and runs them through a pluggable Runner, and the
+// experiments package supplies both the spec conversion (cells → specs) and
+// the Runner (specs → simulate). That keeps the dependency arrow pointing
+// one way — experiments imports distsweep, never the reverse.
+package distsweep
+
+import (
+	"fmt"
+
+	"specfetch/internal/bpred"
+	"specfetch/internal/cache"
+	"specfetch/internal/core"
+	"specfetch/internal/obs"
+	"specfetch/internal/synth"
+)
+
+// WireVersion is the protocol version stamped on every Batch and
+// BatchResult. A worker rejects batches from a different version with HTTP
+// 400, and the coordinator rejects mismatched results, so mixed-version
+// fleets fail loudly instead of computing subtly different sweeps.
+const WireVersion = 1
+
+// WireConfig mirrors core.Config minus the two function-typed fields
+// (Probe, OnRightPathAccess) that cannot cross a process boundary, and
+// minus MaxInsts, which travels as JobSpec.Insts — the same per-sweep
+// instruction budget the in-process executor stamps onto every cell.
+// Cells that carry a probe or an access callback are not serializable and
+// must run in-process; the coordinator-side conversion enforces that.
+type WireConfig struct {
+	Policy           core.Policy   `json:"policy"`
+	FetchWidth       int           `json:"fetch_width"`
+	MaxUnresolved    int           `json:"max_unresolved"`
+	MissPenalty      int           `json:"miss_penalty"`
+	DecodeLatency    int           `json:"decode_latency"`
+	ResolveLatency   int           `json:"resolve_latency"`
+	ICache           cache.Config  `json:"icache"`
+	NextLinePrefetch bool          `json:"next_line_prefetch,omitempty"`
+	TargetPrefetch   bool          `json:"target_prefetch,omitempty"`
+	StreamDepth      int           `json:"stream_depth,omitempty"`
+	PipelinedMemory  bool          `json:"pipelined_memory,omitempty"`
+	L2               *cache.Config `json:"l2,omitempty"`
+	L2Latency        int           `json:"l2_latency,omitempty"`
+	MSHRs            int           `json:"mshrs,omitempty"`
+	RASDepth         int           `json:"ras_depth,omitempty"`
+	FlushInterval    int64         `json:"flush_interval,omitempty"`
+	SampleInterval   int64         `json:"sample_interval,omitempty"`
+}
+
+// FromConfig flattens a core.Config into its wire mirror. It fails when the
+// config carries in-process-only state (a probe or an access callback):
+// such cells must not be dispatched remotely, because the callbacks would
+// silently not fire on the worker.
+func FromConfig(c core.Config) (WireConfig, error) {
+	if c.Probe != nil {
+		return WireConfig{}, fmt.Errorf("distsweep: config carries a Probe; not serializable")
+	}
+	if c.OnRightPathAccess != nil {
+		return WireConfig{}, fmt.Errorf("distsweep: config carries OnRightPathAccess; not serializable")
+	}
+	return WireConfig{
+		Policy:           c.Policy,
+		FetchWidth:       c.FetchWidth,
+		MaxUnresolved:    c.MaxUnresolved,
+		MissPenalty:      c.MissPenalty,
+		DecodeLatency:    c.DecodeLatency,
+		ResolveLatency:   c.ResolveLatency,
+		ICache:           c.ICache,
+		NextLinePrefetch: c.NextLinePrefetch,
+		TargetPrefetch:   c.TargetPrefetch,
+		StreamDepth:      c.StreamDepth,
+		PipelinedMemory:  c.PipelinedMemory,
+		L2:               c.L2,
+		L2Latency:        c.L2Latency,
+		MSHRs:            c.MSHRs,
+		RASDepth:         c.RASDepth,
+		FlushInterval:    c.FlushInterval,
+		SampleInterval:   c.SampleInterval,
+	}, nil
+}
+
+// ToConfig rebuilds the core.Config (probe-free, MaxInsts unset — the
+// runner stamps the budget from JobSpec.Insts, mirroring the in-process
+// executor).
+func (w WireConfig) ToConfig() core.Config {
+	return core.Config{
+		Policy:           w.Policy,
+		FetchWidth:       w.FetchWidth,
+		MaxUnresolved:    w.MaxUnresolved,
+		MissPenalty:      w.MissPenalty,
+		DecodeLatency:    w.DecodeLatency,
+		ResolveLatency:   w.ResolveLatency,
+		ICache:           w.ICache,
+		NextLinePrefetch: w.NextLinePrefetch,
+		TargetPrefetch:   w.TargetPrefetch,
+		StreamDepth:      w.StreamDepth,
+		PipelinedMemory:  w.PipelinedMemory,
+		L2:               w.L2,
+		L2Latency:        w.L2Latency,
+		MSHRs:            w.MSHRs,
+		RASDepth:         w.RASDepth,
+		FlushInterval:    w.FlushInterval,
+		SampleInterval:   w.SampleInterval,
+	}
+}
+
+// JobSpec is one serializable sweep cell: the bench recipe (a synth.Profile
+// regenerates the identical program and image on any machine), the machine
+// configuration, the dynamic-stream seed, the predictor kind, the
+// instruction budget, and the audit sampling rate the worker must attach.
+type JobSpec struct {
+	Profile     synth.Profile `json:"profile"`
+	Config      WireConfig    `json:"config"`
+	Seed        uint64        `json:"seed"`
+	Insts       int64         `json:"insts"`
+	Pred        string        `json:"pred,omitempty"`
+	AuditSample int           `json:"audit_sample,omitempty"`
+}
+
+// Validate rejects specs a worker could not run: bad profiles, bad
+// configs, unknown predictor kinds, non-positive budgets. Workers validate
+// before running so malformed specs come back as permanent (4xx) errors
+// instead of burning retries.
+func (s JobSpec) Validate() error {
+	if err := s.Profile.Validate(); err != nil {
+		return err
+	}
+	cfg := s.Config.ToConfig()
+	cfg.MaxInsts = s.Insts
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if _, err := bpred.ByName(s.Pred); err != nil {
+		return err
+	}
+	if s.Insts <= 0 {
+		return fmt.Errorf("distsweep: job has no instruction budget")
+	}
+	if s.AuditSample < 0 {
+		return fmt.Errorf("distsweep: negative audit sample %d", s.AuditSample)
+	}
+	return nil
+}
+
+// Batch is the unit of dispatch: a contiguous slice of the sweep
+// work-list. ID is coordinator-assigned and echoed back so a late response
+// from a timed-out attempt can never be mistaken for the retry's.
+type Batch struct {
+	Version int       `json:"version"`
+	ID      uint64    `json:"id"`
+	Jobs    []JobSpec `json:"jobs"`
+}
+
+// JobResult pairs a simulation result with the worker's audit self-check:
+// the AuditFinal its sampled obs.AuditProbe verified against the run. The
+// coordinator recomputes Result.AuditFinal() and rejects the batch if the
+// two disagree — a worker cannot claim an audit it did not pass.
+type JobResult struct {
+	Result core.Result    `json:"result"`
+	Audit  obs.AuditFinal `json:"audit"`
+}
+
+// SelfConsistent reports whether the result's own counters rebuild the
+// audit identity the worker claims to have verified.
+func (r JobResult) SelfConsistent() bool {
+	return r.Result.AuditFinal() == r.Audit
+}
+
+// BatchResult echoes the batch ID and carries one JobResult per job, in
+// job order.
+type BatchResult struct {
+	Version int         `json:"version"`
+	ID      uint64      `json:"id"`
+	Results []JobResult `json:"results"`
+}
+
+// ErrorBody is the JSON body of a non-200 worker response. Job is the
+// index of the failing job within the batch (-1 when the batch itself was
+// unusable).
+type ErrorBody struct {
+	Error string `json:"error"`
+	Job   int    `json:"job"`
+}

@@ -1,0 +1,245 @@
+package distsweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"specfetch/internal/cache"
+	"specfetch/internal/core"
+	"specfetch/internal/metrics"
+	"specfetch/internal/obs"
+	"specfetch/internal/synth"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureProfile is a hand-written (not stock) profile so the golden bytes
+// do not move when the calibrated stand-ins are retuned.
+func fixtureProfile() synth.Profile {
+	return synth.Profile{
+		Name: "wiretest", Lang: synth.C,
+		Description:     "hand-written fixture for the wire golden",
+		Seed:            42,
+		NumFuncs:        12,
+		SegmentsPerFunc: [2]int{3, 7},
+		MeanBlockLen:    5.5,
+		LoopFrac:        0.25, MeanLoopTrip: 9, LoopBodyMul: 1.25,
+		CallFrac: 0.2, IndirectCallFrac: 0.1, IndirectJumpFrac: 0.05,
+		IndirectFanout: 4,
+		CondBiasFrac:   0.5, PatternFrac: 0.2,
+		BiasNear: 0.08, BiasTakenSide: 0.4,
+		HardRange: [2]float64{0.3, 0.7},
+		ZipfS:     1.1, CallDepth: 3,
+		DriverCallSites: 8, DriverCallExecP: 0.6,
+		PhaseSites: 4, PhaseIters: 50,
+	}
+}
+
+func fixtureBatch() Batch {
+	l2 := cache.Config{SizeBytes: 256 * 1024, LineBytes: 32, Assoc: 4}
+	return Batch{
+		Version: WireVersion,
+		ID:      7,
+		Jobs: []JobSpec{
+			{
+				Profile: fixtureProfile(),
+				Config: WireConfig{
+					Policy: core.Pessimistic, FetchWidth: 4, MaxUnresolved: 4,
+					MissPenalty: 20, DecodeLatency: 2, ResolveLatency: 4,
+					ICache:           cache.Config{SizeBytes: 8 * 1024, LineBytes: 32, Assoc: 1, VictimLines: 4},
+					NextLinePrefetch: true, TargetPrefetch: true, StreamDepth: 2,
+					PipelinedMemory: true, L2: &l2, L2Latency: 6, MSHRs: 4,
+					RASDepth: 8, FlushInterval: 100_000, SampleInterval: 10_000,
+				},
+				Seed:        0x5eed,
+				Insts:       250_000,
+				Pred:        "local",
+				AuditSample: 64,
+			},
+			{
+				// Minimal job: zero-valued optional knobs must not appear in
+				// the encoding (omitempty), so old workers keep accepting
+				// specs that never used the new knobs.
+				Profile: fixtureProfile(),
+				Config: WireConfig{
+					Policy: core.Oracle, FetchWidth: 4, MaxUnresolved: 1,
+					MissPenalty: 5, DecodeLatency: 2, ResolveLatency: 4,
+					ICache: cache.Config{SizeBytes: 32 * 1024, LineBytes: 32, Assoc: 1},
+				},
+				Seed:  0x5eed,
+				Insts: 100_000,
+			},
+		},
+	}
+}
+
+func fixtureBatchResult() BatchResult {
+	res := core.Result{
+		Policy: core.Pessimistic,
+		Insts:  250_000, Cycles: 91_234,
+		Lost:              metrics.Breakdown{11, 22, 33, 44, 55, 66},
+		Events:            metrics.BranchEvents{},
+		Traffic:           metrics.Traffic{DemandFills: 123, WrongPathFills: 17, PrefetchFills: 9},
+		RightPathAccesses: 70_000, RightPathMisses: 123,
+		WrongPathAccesses: 1_500, WrongPathMisses: 17, WrongPathInsts: 4_321,
+		CondBranches: 30_000, Branches: 42_000,
+	}
+	return BatchResult{
+		Version: WireVersion,
+		ID:      7,
+		Results: []JobResult{{Result: res, Audit: res.AuditFinal()}},
+	}
+}
+
+// checkGolden marshals v indented and compares against the golden file,
+// rewriting it under -update.
+func checkGolden(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: wire encoding drifted from golden.\nThis is a protocol change: bump WireVersion if old workers cannot run the new encoding.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestWireGolden pins the versioned wire format: any field rename, type
+// change, or tag change shows up as a golden diff.
+func TestWireGolden(t *testing.T) {
+	checkGolden(t, "batch.golden.json", fixtureBatch())
+	checkGolden(t, "batchresult.golden.json", fixtureBatchResult())
+}
+
+// TestWireRoundTrip proves encode→decode is lossless for both directions
+// of the protocol.
+func TestWireRoundTrip(t *testing.T) {
+	b := fixtureBatch()
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Batch
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(b, back) {
+		t.Errorf("batch did not round-trip:\n%+v\n%+v", b, back)
+	}
+
+	br := fixtureBatchResult()
+	raw, err = json.Marshal(br)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var backR BatchResult
+	if err := json.Unmarshal(raw, &backR); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(br, backR) {
+		t.Errorf("batch result did not round-trip:\n%+v\n%+v", br, backR)
+	}
+}
+
+// TestConfigRoundTrip proves WireConfig carries every serializable
+// core.Config field both ways.
+func TestConfigRoundTrip(t *testing.T) {
+	l2 := cache.Config{SizeBytes: 128 * 1024, LineBytes: 32, Assoc: 2}
+	cfg := core.DefaultConfig()
+	cfg.Policy = core.Optimistic
+	cfg.NextLinePrefetch = true
+	cfg.TargetPrefetch = true
+	cfg.StreamDepth = 3
+	cfg.PipelinedMemory = true
+	cfg.L2 = &l2
+	cfg.L2Latency = 4
+	cfg.MSHRs = 2
+	cfg.RASDepth = 16
+	cfg.FlushInterval = 50_000
+	cfg.SampleInterval = 1_000
+
+	w, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatalf("FromConfig: %v", err)
+	}
+	if got := w.ToConfig(); !reflect.DeepEqual(got, cfg) {
+		t.Errorf("config did not round-trip:\ngot  %+v\nwant %+v", got, cfg)
+	}
+}
+
+// TestFromConfigRejectsInProcessState: cells carrying callbacks must be
+// refused, not silently stripped.
+func TestFromConfigRejectsInProcessState(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Probe = obs.NewEventRecorder(16)
+	if _, err := FromConfig(cfg); err == nil {
+		t.Error("FromConfig accepted a config with a Probe")
+	}
+	cfg = core.DefaultConfig()
+	cfg.OnRightPathAccess = func(int64, uint64, bool) {}
+	if _, err := FromConfig(cfg); err == nil {
+		t.Error("FromConfig accepted a config with OnRightPathAccess")
+	}
+}
+
+// TestJobSpecValidate covers the worker-side early rejects.
+func TestJobSpecValidate(t *testing.T) {
+	good := fixtureBatch().Jobs[0]
+	if err := good.Validate(); err != nil {
+		t.Fatalf("fixture spec invalid: %v", err)
+	}
+	bad := good
+	bad.Insts = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero budget accepted")
+	}
+	bad = good
+	bad.Pred = "perceptron"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown predictor kind accepted")
+	}
+	bad = good
+	bad.Profile.NumFuncs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	bad = good
+	bad.Config.FetchWidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid config accepted")
+	}
+	bad = good
+	bad.AuditSample = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative audit sample accepted")
+	}
+}
+
+// TestSelfConsistent: tampering with any audited counter must break the
+// identity the coordinator checks.
+func TestSelfConsistent(t *testing.T) {
+	jr := fixtureBatchResult().Results[0]
+	if !jr.SelfConsistent() {
+		t.Fatal("fixture result not self-consistent")
+	}
+	jr.Result.Cycles++
+	if jr.SelfConsistent() {
+		t.Error("tampered Cycles not detected")
+	}
+}

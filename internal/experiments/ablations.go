@@ -99,26 +99,9 @@ func AblationBTBCoupling(opt Options) (*texttable.Table, error) {
 		"Program", "Decoupled", "Local PAg", "Coupled", "Static")
 	return renderRows(t, opt, benches, func(b *synth.Bench) ([]any, error) {
 		row := []any{b.Profile().Name}
-		for _, mk := range []func() bpred.Predictor{
-			func() bpred.Predictor { return bpred.NewDefaultDecoupled() },
-			func() bpred.Predictor {
-				l, err := bpred.NewDecoupledLocal(bpred.DefaultBTBConfig(), bpred.DefaultLocalConfig())
-				if err != nil {
-					panic(err)
-				}
-				return l
-			},
-			func() bpred.Predictor {
-				c, err := bpred.NewCoupled(bpred.DefaultBTBConfig())
-				if err != nil {
-					panic(err)
-				}
-				return c
-			},
-			func() bpred.Predictor { return bpred.Static{} },
-		} {
+		for _, kind := range bpred.Kinds() {
 			cell := newCell(b, baseConfig(core.Oracle))
-			cell.pred = mk
+			cell.pred = kind
 			res, err := simulate(cell, opt)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", b.Profile().Name, err)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"specfetch/internal/core"
+	"specfetch/internal/distsweep"
 	"specfetch/internal/obs"
 	"specfetch/internal/synth"
 )
@@ -38,6 +39,20 @@ type Options struct {
 	// byte-identical with it on or off (asserted by the differential
 	// harness in shard_test.go).
 	Spans *obs.SpanTracer
+	// Remote lists sweepworker base URLs ("http://host:8477"). When
+	// non-empty, every serializable sweep cell is dispatched to these
+	// workers in batches over the distsweep protocol instead of running on
+	// the in-process pool; cells that carry in-process-only state (probes,
+	// access callbacks), and any batch the fleet cannot complete, fall
+	// back to the local executor. Reduction order is unchanged, so
+	// rendered bytes are invariant in process count exactly as they are in
+	// worker count.
+	Remote []string
+	// Dispatch, when non-nil, is the coordinator used for Remote dispatch,
+	// letting one coordinator's retry/backoff/eviction state span many
+	// builders. Nil with Remote set uses a process-wide coordinator shared
+	// by every Options naming the same worker list.
+	Dispatch *distsweep.Coordinator
 }
 
 // observe reports one finished simulation to the optional progress and

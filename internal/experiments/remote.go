@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+
+	"specfetch/internal/core"
+	"specfetch/internal/distsweep"
+	"specfetch/internal/obs"
+	"specfetch/internal/synth"
+)
+
+// The coordinator half of distributed sweeps. Cells convert to wire
+// JobSpecs, runCells dispatches whole work-lists in batches, and the
+// worker side (JobRunner, used by cmd/sweepworker) runs specs through the
+// identical simulateLocal path, so a remote sweep computes cell-for-cell
+// the same results — and therefore renders the same bytes — as an
+// in-process one.
+
+// Process-wide coordinators, keyed by the worker list, so that every
+// builder in a campaign shares one fleet's retry/backoff/eviction state
+// instead of re-probing dead workers per table.
+var (
+	coordMu sync.Mutex
+	coords  = map[string]*distsweep.Coordinator{}
+)
+
+// coordinator resolves the dispatch side for these options: the explicit
+// Dispatch if set, the shared per-fleet coordinator when Remote is set,
+// nil for plain in-process runs.
+func (opt Options) coordinator() *distsweep.Coordinator {
+	if opt.Dispatch != nil {
+		return opt.Dispatch
+	}
+	if len(opt.Remote) == 0 {
+		return nil
+	}
+	key := strings.Join(opt.Remote, "\x00")
+	coordMu.Lock()
+	defer coordMu.Unlock()
+	if c, ok := coords[key]; ok {
+		return c
+	}
+	c := distsweep.New(distsweep.CoordinatorOptions{
+		Workers: opt.Remote,
+		Metrics: opt.Metrics,
+		Spans:   opt.Spans,
+	})
+	coords[key] = c
+	return c
+}
+
+// specForCell converts one cell to its wire form. ok is false when the
+// cell carries in-process-only state (a probe or access callback) and
+// must run locally.
+func specForCell(opt Options, c runCell) (distsweep.JobSpec, bool) {
+	wc, err := distsweep.FromConfig(c.cfg)
+	if err != nil {
+		return distsweep.JobSpec{}, false
+	}
+	return distsweep.JobSpec{
+		Profile:     c.bench.Profile(),
+		Config:      wc,
+		Seed:        c.seed,
+		Insts:       opt.Insts,
+		Pred:        c.pred,
+		AuditSample: opt.AuditSample,
+	}, true
+}
+
+// runCellsRemote dispatches a work-list through the coordinator. ok is
+// false (and the caller runs everything in-process) when any cell is not
+// serializable — mixed dispatch would complicate reasoning for no gain,
+// since only probe-carrying sweeps are affected. Results come back keyed
+// by cell index, so the caller's serial canonical-order reduction is
+// untouched: remote bytes are in-process bytes.
+func runCellsRemote(opt Options, coord *distsweep.Coordinator, cells []runCell) ([]core.Result, bool, error) {
+	specs := make([]distsweep.JobSpec, len(cells))
+	for i, c := range cells {
+		s, ok := specForCell(opt, c)
+		if !ok {
+			return nil, false, nil
+		}
+		specs[i] = s
+	}
+	// Batches the fleet cannot complete run on the in-process pool via the
+	// normal local path (which also reports progress and wraps errors with
+	// the same bench/policy prefix a purely local sweep would use).
+	local := func(offset int, jobs []distsweep.JobSpec) ([]distsweep.JobResult, error) {
+		res, err := runCellsLocal(opt, cells[offset:offset+len(jobs)])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]distsweep.JobResult, len(res))
+		for i, r := range res {
+			out[i] = distsweep.JobResult{Result: r, Audit: r.AuditFinal()}
+		}
+		return out, nil
+	}
+	// Remotely-completed cells stream progress as their batches verify;
+	// locally-run cells already report inside simulateLocal.
+	onRemote := func(offset int, res []distsweep.JobResult) {
+		for i, r := range res {
+			c := cells[offset+i]
+			opt.observe(c.bench.Profile().Name, c.cfg.Policy, r.Result)
+		}
+	}
+	jrs, err := coord.Run(specs, local, onRemote)
+	if err != nil {
+		return nil, true, err
+	}
+	out := make([]core.Result, len(jrs))
+	for i, r := range jrs {
+		out[i] = r.Result
+	}
+	return out, true, nil
+}
+
+// JobRunner is the worker-side distsweep.Runner: it rebuilds the bench
+// from the spec's profile (memoized — a sweep sends the same profile once
+// per cell) and runs the cell through simulateLocal, the same code path
+// the in-process executor uses, with the spec's sampled audit attached.
+type JobRunner struct {
+	// Metrics, when non-nil, accumulates the worker's campaign counters
+	// (specfetch_simulations_total etc.).
+	Metrics *obs.Registry
+	// Progress, when non-nil, receives per-simulation progress lines.
+	Progress func(msg string)
+
+	mu      sync.Mutex
+	benches map[synth.Profile]*synth.Bench
+}
+
+// NewJobRunner builds a worker-side runner.
+func NewJobRunner(reg *obs.Registry) *JobRunner {
+	return &JobRunner{Metrics: reg, benches: map[synth.Profile]*synth.Bench{}}
+}
+
+// bench returns the (memoized) built benchmark for a profile.
+func (r *JobRunner) bench(p synth.Profile) (*synth.Bench, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b, ok := r.benches[p]; ok {
+		return b, nil
+	}
+	b, err := synth.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	r.benches[p] = b
+	return b, nil
+}
+
+// Run implements distsweep.Runner. Safe for concurrent batches: benches
+// are built under a lock and read-only afterwards, exactly as the
+// in-process pool shares them across workers.
+func (r *JobRunner) Run(spec distsweep.JobSpec) (distsweep.JobResult, error) {
+	if err := spec.Validate(); err != nil {
+		return distsweep.JobResult{}, err
+	}
+	b, err := r.bench(spec.Profile)
+	if err != nil {
+		return distsweep.JobResult{}, err
+	}
+	cell := runCell{bench: b, cfg: spec.Config.ToConfig(), seed: spec.Seed, pred: spec.Pred}
+	opt := Options{
+		Insts:       spec.Insts,
+		AuditSample: spec.AuditSample,
+		Metrics:     r.Metrics,
+		Progress:    r.Progress,
+	}
+	res, err := simulateLocal(cell, opt)
+	if err != nil {
+		return distsweep.JobResult{}, err
+	}
+	return distsweep.JobResult{Result: res, Audit: res.AuditFinal()}, nil
+}

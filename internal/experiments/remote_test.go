@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"specfetch/internal/core"
+	"specfetch/internal/distsweep"
+	"specfetch/internal/obs"
+)
+
+// startWorkers stands up n in-process protocol servers, each with its own
+// JobRunner (its own bench cache), mimicking n independent daemons.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		srv := httptest.NewServer(distsweep.NewServer(distsweep.ServerOptions{
+			Runner: NewJobRunner(nil).Run,
+		}).Handler())
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+// TestRemoteSweepBytesIdentical: dispatching Table 6 + Figure 1 + Table 3
+// to a 2-worker fleet renders byte-identical artifacts to the serial
+// in-process sweep, audited and not.
+func TestRemoteSweepBytesIdentical(t *testing.T) {
+	base := Options{Insts: 50_000, Benchmarks: []string{"gcc", "groff"}}
+	serial := base
+	serial.Workers = 1
+	want := renderAll(t, serial)
+
+	remote := base
+	remote.Remote = startWorkers(t, 2)
+	remote.Dispatch = distsweep.New(distsweep.CoordinatorOptions{
+		Workers:   remote.Remote,
+		BatchSize: 4,
+	})
+	if got := renderAll(t, remote); got != want {
+		t.Error("remote sweep renders differently from the serial in-process sweep")
+	}
+
+	audited := remote
+	audited.AuditSample = 4
+	audited.Dispatch = distsweep.New(distsweep.CoordinatorOptions{
+		Workers:   remote.Remote,
+		BatchSize: 4,
+	})
+	if got := renderAll(t, audited); got != want {
+		t.Error("audited remote sweep renders differently from the serial in-process sweep")
+	}
+}
+
+// TestRemoteAblationAndCharacterize: the row-granularity builders (which
+// call simulate per dependent cell) fan out through the coordinator too
+// and keep their bytes.
+func TestRemoteAblationAndCharacterize(t *testing.T) {
+	base := Options{Insts: 30_000, Benchmarks: []string{"gcc"}}
+	local := base
+	local.Workers = 1
+	tabL, err := AblationBTBCoupling(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab2L, err := Table2(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remote := base
+	remote.Remote = startWorkers(t, 2)
+	tabR, err := AblationBTBCoupling(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab2R, err := Table2(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tabR.String() != tabL.String() {
+		t.Error("remote ablation renders differently from the local one")
+	}
+	if tab2R.String() != tab2L.String() {
+		t.Error("remote characterization table renders differently from the local one")
+	}
+}
+
+// TestRemoteFallsBackForInProcessState: a sweep whose cells carry a probe
+// cannot be serialized and must silently run in-process even with a fleet
+// configured — asserted by pointing Remote at a dead server and checking
+// the sweep still succeeds without dispatch attempts.
+func TestRemoteFallsBackForInProcessState(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	dead.Close()
+
+	profs, err := selected(Options{Benchmarks: []string{"gcc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildAllFromProfile(profs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired atomic.Int64
+	cfg := baseConfig(core.Oracle)
+	cfg.OnRightPathAccess = func(int64, uint64, bool) { fired.Add(1) }
+
+	opt := Options{Insts: 20_000, Workers: 1}
+	opt.Dispatch = distsweep.New(distsweep.CoordinatorOptions{
+		Workers:    []string{dead.URL},
+		Retries:    1,
+		EvictAfter: 1,
+	})
+	cells := []runCell{{bench: b, cfg: cfg, seed: defaultStreamSeed}}
+	if _, err := runCells(opt, cells); err != nil {
+		t.Fatalf("probe-carrying sweep failed: %v", err)
+	}
+	if fired.Load() == 0 {
+		t.Error("access callback never fired; the cell did not run in-process")
+	}
+	if len(opt.Dispatch.Alive()) != 1 {
+		t.Error("dead worker was probed (and evicted) for a non-serializable sweep")
+	}
+}
+
+// TestRemoteProgressAndMetrics: remote sweeps report the same campaign
+// totals through Options.Metrics/Progress as local ones.
+func TestRemoteProgressAndMetrics(t *testing.T) {
+	opt := Options{Insts: 20_000, Benchmarks: []string{"gcc"}}
+	opt.Remote = startWorkers(t, 1)
+	reg := obs.NewRegistry()
+	opt.Metrics = reg
+	var lines atomic.Int64
+	opt.Progress = func(string) { lines.Add(1) }
+	opt.Dispatch = distsweep.New(distsweep.CoordinatorOptions{Workers: opt.Remote, Metrics: reg})
+
+	if _, err := Table6(opt); err != nil {
+		t.Fatal(err)
+	}
+	sims := reg.Counter("specfetch_simulations_total", "").Value()
+	if sims == 0 {
+		t.Error("no simulations counted for a remote sweep")
+	}
+	if lines.Load() != sims {
+		t.Errorf("progress lines (%d) != counted simulations (%d)", lines.Load(), sims)
+	}
+	if reg.Counter("specfetch_dispatch_jobs_total", "").Value() != sims {
+		t.Error("dispatch job counter does not match simulations")
+	}
+}

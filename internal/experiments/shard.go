@@ -8,6 +8,7 @@ import (
 
 	"specfetch/internal/bpred"
 	"specfetch/internal/core"
+	"specfetch/internal/distsweep"
 	"specfetch/internal/obs"
 	"specfetch/internal/synth"
 	"specfetch/internal/trace"
@@ -153,9 +154,11 @@ type runCell struct {
 	bench *synth.Bench
 	cfg   core.Config
 	seed  uint64
-	// pred overrides the default decoupled predictor (nil = default); used
-	// by the branch-architecture ablation.
-	pred func() bpred.Predictor
+	// pred names the predictor kind from bpred.ByName ("" = default
+	// decoupled); a name rather than a constructor so cells stay
+	// serializable for the distributed executor. Used by the
+	// branch-architecture ablation.
+	pred string
 }
 
 // newCell builds a cell on the experiments' shared stream seed.
@@ -163,17 +166,32 @@ func newCell(b *synth.Bench, cfg core.Config) runCell {
 	return runCell{bench: b, cfg: cfg, seed: defaultStreamSeed}
 }
 
-// runCells executes a work-list on the pool and returns results keyed by
-// cell index. With host tracing enabled (Options.Spans), every cell is
-// wrapped in a span named "<bench>/<policy>" on the worker that ran it.
+// runCells executes a work-list and returns results keyed by cell index.
+// With a remote fleet configured (Options.Remote/Dispatch) and every cell
+// serializable, the list is dispatched across processes; otherwise — and
+// for any batch the fleet cannot complete — it runs on the in-process
+// pool. Either way results land at their cell's index, so the caller's
+// serial reduction renders identical bytes.
 func runCells(opt Options, cells []runCell) ([]core.Result, error) {
+	if coord := opt.coordinator(); coord != nil {
+		if res, ok, err := runCellsRemote(opt, coord, cells); ok {
+			return res, err
+		}
+	}
+	return runCellsLocal(opt, cells)
+}
+
+// runCellsLocal executes a work-list on the in-process pool. With host
+// tracing enabled (Options.Spans), every cell is wrapped in a span named
+// "<bench>/<policy>" on the worker that ran it.
+func runCellsLocal(opt Options, cells []runCell) ([]core.Result, error) {
 	return mapCells(opt, len(cells), func(w, i int) (core.Result, error) {
 		var sp obs.SpanHandle
 		if opt.Spans != nil {
 			sp = opt.Spans.Start(
 				cells[i].bench.Profile().Name+"/"+cells[i].cfg.Policy.String(), w)
 		}
-		res, err := simulate(cells[i], opt)
+		res, err := simulateLocal(cells[i], opt)
 		spanEnd(opt, sp)
 		if err != nil {
 			return core.Result{}, fmt.Errorf("%s/%s: %w",
@@ -204,11 +222,42 @@ func spanEnd(opt Options, sp obs.SpanHandle) {
 	}
 }
 
-// simulate runs one cell with a fresh engine, cache, and predictor. With
-// Options.AuditSample > 0 it attaches a sampled obs.AuditProbe to the run:
-// stream violations panic (the pool re-surfaces them), and the final
-// accounting identities are verified before the result is accepted.
+// simulate runs one cell — remotely when a fleet is configured and the
+// cell is serializable, in-process otherwise. The ablation rows shard at
+// row granularity and call this per dependent cell, so they fan out to
+// the fleet too.
 func simulate(c runCell, opt Options) (core.Result, error) {
+	coord := opt.coordinator()
+	if coord == nil {
+		return simulateLocal(c, opt)
+	}
+	spec, ok := specForCell(opt, c)
+	if !ok {
+		return simulateLocal(c, opt)
+	}
+	jrs, err := coord.Run([]distsweep.JobSpec{spec},
+		func(int, []distsweep.JobSpec) ([]distsweep.JobResult, error) {
+			res, rerr := simulateLocal(c, opt)
+			if rerr != nil {
+				return nil, rerr
+			}
+			return []distsweep.JobResult{{Result: res, Audit: res.AuditFinal()}}, nil
+		},
+		func(_ int, res []distsweep.JobResult) {
+			opt.observe(c.bench.Profile().Name, c.cfg.Policy, res[0].Result)
+		})
+	if err != nil {
+		return core.Result{}, err
+	}
+	return jrs[0].Result, nil
+}
+
+// simulateLocal runs one cell in-process with a fresh engine, cache, and
+// predictor. With Options.AuditSample > 0 it attaches a sampled
+// obs.AuditProbe to the run: stream violations panic (the pool
+// re-surfaces them), and the final accounting identities are verified
+// before the result is accepted.
+func simulateLocal(c runCell, opt Options) (core.Result, error) {
 	cfg := c.cfg
 	cfg.MaxInsts = opt.Insts
 	var aud *obs.AuditProbe
@@ -224,12 +273,11 @@ func simulate(c runCell, opt Options) (core.Result, error) {
 			cfg.Probe = aud
 		}
 	}
-	var pred bpred.Predictor
-	if c.pred != nil {
-		pred = c.pred()
-	} else {
-		pred = bpred.NewDefaultDecoupled()
+	mk, err := bpred.ByName(c.pred)
+	if err != nil {
+		return core.Result{}, err
 	}
+	pred := mk()
 	rd := trace.NewLimitReader(c.bench.NewWalker(c.seed), opt.Insts+opt.Insts/4)
 	res, err := core.Run(cfg, c.bench.Image(), rd, pred)
 	if err != nil {

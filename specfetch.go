@@ -25,6 +25,7 @@ import (
 	"specfetch/internal/cache"
 	"specfetch/internal/classify"
 	"specfetch/internal/core"
+	"specfetch/internal/distsweep"
 	"specfetch/internal/isa"
 	"specfetch/internal/metrics"
 	"specfetch/internal/obs"
@@ -330,4 +331,59 @@ func CallKernel(depth, bodyInsts int) (*Bench, error) { return synth.CallKernel(
 // dispatch loop over fanout handlers, isolating BTB target misprediction.
 func DispatchKernel(fanout, handlerInsts int) (*Bench, error) {
 	return synth.DispatchKernel(fanout, handlerInsts)
+}
+
+// SweepWireVersion is the distributed-sweep wire protocol version; a
+// coordinator and its workers must agree on it.
+const SweepWireVersion = distsweep.WireVersion
+
+// SweepJobSpec is one serialized simulation cell of the distributed sweep
+// executor: benchmark recipe, machine configuration, stream seed,
+// predictor kind, instruction budget, and audit sampling — everything a
+// worker process needs to reproduce the cell bit-for-bit.
+type SweepJobSpec = distsweep.JobSpec
+
+// SweepJobResult pairs a cell's Result with the audit identity the worker
+// re-derived from it, the self-check coordinators verify before accepting
+// remote work.
+type SweepJobResult = distsweep.JobResult
+
+// SweepBatch is the versioned request unit of the distributed sweep wire
+// protocol (POST /v1/run).
+type SweepBatch = distsweep.Batch
+
+// SweepBatchResult is the response unit of the distributed sweep wire
+// protocol.
+type SweepBatchResult = distsweep.BatchResult
+
+// SweepCoordinator fans a sweep work-list out across worker daemon
+// processes with per-batch timeouts, capped retries with exponential
+// backoff, failed-worker eviction, and in-process fallback; its reduction
+// is serial and order-keyed, so rendered sweep bytes are identical to a
+// local run. Safe for concurrent use.
+type SweepCoordinator = distsweep.Coordinator
+
+// SweepCoordinatorOptions configures a SweepCoordinator (worker URLs,
+// batch size, timeout, retry/backoff/eviction policy).
+type SweepCoordinatorOptions = distsweep.CoordinatorOptions
+
+// NewSweepCoordinator builds a coordinator over the given worker base
+// URLs. Plug it into the experiments via its Options.Dispatch field, or
+// run batches directly with Run.
+func NewSweepCoordinator(opt SweepCoordinatorOptions) *SweepCoordinator {
+	return distsweep.New(opt)
+}
+
+// SweepServerOptions configures a worker-side sweep protocol server.
+type SweepServerOptions = distsweep.ServerOptions
+
+// SweepServer is the worker-side HTTP server of the distributed sweep
+// protocol (/healthz, /v1/run, /metrics); cmd/sweepworker is the stock
+// daemon wrapping one.
+type SweepServer = distsweep.Server
+
+// NewSweepServer builds a worker-side sweep protocol server around a
+// job-running callback.
+func NewSweepServer(opt SweepServerOptions) *SweepServer {
+	return distsweep.NewServer(opt)
 }
