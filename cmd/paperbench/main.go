@@ -40,6 +40,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -56,6 +57,7 @@ import (
 	"specfetch/internal/experiments"
 	"specfetch/internal/hosttime"
 	"specfetch/internal/obs"
+	"specfetch/internal/sweeplog"
 	"specfetch/internal/texttable"
 )
 
@@ -78,18 +80,30 @@ func main() {
 		auditSmp = flag.Int("audit-sample", 0, "attach the accounting auditor to every simulation, checking every Nth pipeline window (1 = every window)")
 		benchOut = flag.String("bench-out", "", "write per-builder host-side performance aggregates as BENCH JSON to this file (input for perfdiff)")
 		benchLbl = flag.String("bench-label", "paperbench", "label recorded in the -bench-out report")
-		hostTr   = flag.String("host-trace", "", "write host-side spans (workers x cells) as a Chrome trace JSON to this file")
+		hostTr   = flag.String("host-trace", "", "write host-side spans (workers x cells, plus remote fleet tracks with -remote-workers) as a Chrome trace JSON to this file")
+		sweepLog = flag.String("sweep-log", "", "persist the structured sweep decision log (dispatch/retry/backoff/eviction/fallback JSONL) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	// Profiles must land even on the os.Exit paths (errors, SIGINT, audit
-	// failures), so every exit funnels through stopProfiles via exit().
+	// Profiles and the sweep decision log must land even on the os.Exit
+	// paths (errors, SIGINT, audit failures), so every exit funnels through
+	// stopProfiles via exit().
 	var profOnce sync.Once
 	var cpuFile *os.File
+	var sweepLogFile *os.File
+	var sweepLogger *sweeplog.Logger
 	stopProfiles := func() {
 		profOnce.Do(func() {
+			if err := sweepLogger.WriteErr(); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: sweep-log: %v\n", err)
+			}
+			if sweepLogFile != nil {
+				if err := sweepLogFile.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "paperbench: sweep-log: %v\n", err)
+				}
+			}
 			if cpuFile != nil {
 				runtimepprof.StopCPUProfile()
 				if err := cpuFile.Close(); err != nil {
@@ -159,18 +173,35 @@ func main() {
 	if !*quiet {
 		opt.Progress = func(msg string) { fmt.Fprintf(os.Stderr, "paperbench: %s\n", msg) }
 	}
+	// The sweep decision log: -sweep-log persists it as JSONL; without the
+	// flag it still feeds the in-memory flight recorder behind /sweepz.
+	// Decisions go to the log and stderr only — never stdout, so rendered
+	// sweep bytes stay invariant.
+	var coord *distsweep.Coordinator
+	if *remoteWk != "" || *sweepLog != "" {
+		var logW io.Writer
+		if *sweepLog != "" {
+			f, err := os.Create(*sweepLog)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: sweep-log: %v\n", err)
+				exit(1)
+			}
+			sweepLogFile, logW = f, f
+		} else if !*quiet {
+			logW = os.Stderr
+		}
+		sweepLogger = sweeplog.New(sweeplog.Options{W: logW})
+	}
 	if *remoteWk != "" {
 		opt.Remote = strings.Split(*remoteWk, ",")
 		// One coordinator for the whole campaign, so retry/eviction state
 		// spans builders: a worker evicted during table 2 stays evicted for
 		// figure 4.
-		copt := distsweep.CoordinatorOptions{Workers: opt.Remote, Metrics: reg, Spans: spans}
-		if !*quiet {
-			copt.Logf = func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "paperbench: dispatch: "+format+"\n", args...)
-			}
-		}
-		opt.Dispatch = distsweep.New(copt)
+		coord = distsweep.New(distsweep.CoordinatorOptions{
+			Workers: opt.Remote, Metrics: reg, Spans: spans, Log: sweepLogger,
+		})
+		opt.Dispatch = coord
+		opt.SweepLog = sweepLogger
 	}
 
 	if !*all && *table == 0 && *figure == 0 && *ablation == "" && *seeds == 0 && !*sweep && !*modern {
@@ -186,6 +217,7 @@ func main() {
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/sweepz", coord.StatusHandler(sweepLogger))
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -350,7 +382,7 @@ func main() {
 		if err != nil {
 			run(fmt.Errorf("host-trace: %v", err))
 		}
-		if err := obs.WriteHostTrace(f, spans.Spans()); err != nil {
+		if err := obs.WriteCombinedTrace(f, nil, spans.Spans(), coord.FleetSpans()...); err != nil {
 			run(fmt.Errorf("host-trace: %v", err))
 		}
 		if err := f.Close(); err != nil {

@@ -2,16 +2,20 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"specfetch/internal/distsweep"
 	"specfetch/internal/experiments"
+	"specfetch/internal/obs"
+	"specfetch/internal/sweeplog"
 )
 
 // TestMain doubles as the worker executable: with the helper env var set,
@@ -174,6 +178,122 @@ func TestCrossProcessKillWorkerMidSweep(t *testing.T) {
 	}
 	if len(remote.Dispatch.Alive()) == 2 {
 		t.Log("note: killed worker was never evicted (sweep may have finished first); bytes still identical")
+	}
+}
+
+// TestTelemetryNeutralDifferential is the fleet-telemetry headline proof:
+// Table 6 + Figure 1 render byte-identically with the full telemetry stack
+// (metrics registry, span tracer, sweep decision log) enabled vs. disabled,
+// at Workers 1 and 4 in-process and against a real spawned worker process.
+// Run under -race in CI.
+func TestTelemetryNeutralDifferential(t *testing.T) {
+	plain := diffBase
+	plain.Workers = 1
+	want := renderSweep(t, plain)
+
+	for _, workers := range []int{1, 4} {
+		loud := diffBase
+		loud.Workers = workers
+		loud.Metrics = obs.NewRegistry()
+		loud.Spans = obs.NewSpanTracer()
+		loud.SweepLog = sweeplog.New(sweeplog.Options{})
+		if got := renderSweep(t, loud); got != want {
+			t.Errorf("Workers=%d sweep bytes change with telemetry enabled", workers)
+		}
+		if loud.Spans.Len() == 0 {
+			t.Errorf("Workers=%d: telemetry was supposedly on but recorded no spans", workers)
+		}
+	}
+
+	u1, _ := spawnWorker(t)
+	remote := diffBase
+	remote.Remote = []string{u1}
+	log := sweeplog.New(sweeplog.Options{})
+	spans := obs.NewSpanTracer()
+	remote.Dispatch = distsweep.New(distsweep.CoordinatorOptions{
+		Workers:   remote.Remote,
+		BatchSize: 3,
+		Metrics:   obs.NewRegistry(),
+		Spans:     spans,
+		Log:       log,
+		Campaign:  "difftest",
+	})
+	if got := renderSweep(t, remote); got != want {
+		t.Error("distributed sweep bytes change with telemetry enabled")
+	}
+	if len(logEvents(log, "dispatch")) == 0 {
+		t.Error("decision log recorded no dispatches")
+	}
+	if fleet := remote.Dispatch.FleetSpans(); len(fleet) == 0 {
+		t.Error("coordinator collected no fleet spans from the worker process")
+	}
+}
+
+// logEvents filters a sweep log's flight recorder down to one event type.
+func logEvents(l *sweeplog.Logger, ev string) []string {
+	var out []string
+	for _, line := range l.Recent() {
+		if strings.Contains(line, `"ev":"`+ev+`"`) {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// TestFleetTracePerProcessTracks: with two spawned worker processes, the
+// coordinator's fleet spans carry two distinct pids (neither ours), and the
+// combined Perfetto trace renders one track per worker process.
+func TestFleetTracePerProcessTracks(t *testing.T) {
+	u1, _ := spawnWorker(t)
+	u2, _ := spawnWorker(t)
+
+	spans := obs.NewSpanTracer()
+	remote := diffBase
+	remote.Remote = []string{u1, u2}
+	remote.Dispatch = distsweep.New(distsweep.CoordinatorOptions{
+		Workers:   remote.Remote,
+		BatchSize: 2,
+		Spans:     spans,
+	})
+	renderSweep(t, remote)
+
+	fleet := remote.Dispatch.FleetSpans()
+	if len(fleet) != 2 {
+		t.Fatalf("fleet processes = %d, want 2 (both daemons participated)", len(fleet))
+	}
+	self := os.Getpid()
+	names := map[string]bool{}
+	for _, p := range fleet {
+		if names[p.Name] {
+			t.Errorf("duplicate fleet track %q", p.Name)
+		}
+		names[p.Name] = true
+		if strings.Contains(p.Name, "(pid "+strconv.Itoa(self)+")") {
+			t.Errorf("fleet track %q carries the coordinator's own pid", p.Name)
+		}
+		if len(p.Spans) == 0 {
+			t.Errorf("fleet track %q has no spans", p.Name)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteCombinedTrace(&buf, nil, spans.Spans(), fleet...); err != nil {
+		t.Fatalf("WriteCombinedTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("combined fleet trace is not valid JSON: %v", err)
+	}
+	fleetPids := map[float64]bool{}
+	for _, ev := range doc.TraceEvents {
+		if pid, _ := ev["pid"].(float64); pid >= 3 {
+			fleetPids[pid] = true
+		}
+	}
+	if len(fleetPids) != 2 {
+		t.Errorf("fleet pid tracks in trace = %v, want 2", fleetPids)
 	}
 }
 

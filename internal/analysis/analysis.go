@@ -20,6 +20,9 @@
 //     seventh stall component cannot silently drop cycles.
 //   - errcheck: no discarded error results in the trace/program codecs and
 //     the command-line I/O paths.
+//   - sweeplint: the distributed-sweep layer (internal/distsweep,
+//     cmd/sweepworker) logs through the structured sweep log, never via
+//     ad-hoc fmt.Fprintf(os.Stderr, ...) or the global log package.
 //
 // Run it with `go run ./cmd/simlint ./...`; the runtime counterpart of
 // these checks is obs.AuditProbe.
@@ -84,7 +87,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, ProbeGuard, EnumSwitch, ErrCheck}
+	return []*Analyzer{Determinism, ProbeGuard, EnumSwitch, ErrCheck, SweepLint}
 }
 
 // ByName resolves a comma-separated analyzer list ("determinism,errcheck").

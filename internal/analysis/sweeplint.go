@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SweepLint bans ad-hoc diagnostics in the distributed-sweep layer. The
+// coordinator and worker daemon emit their operational record through the
+// structured sweep log (internal/sweeplog): one JSONL decision stream that
+// the flight recorder, /sweepz, and the CI fault-injection assertions all
+// read. A stray fmt.Fprintf(os.Stderr, ...) or log.Printf in that layer is
+// a decision the record silently misses — and, worse, free-form stderr
+// writes race with the daemon's "listening on" announcement line that
+// tests and scripts parse.
+//
+// Flagged inside internal/distsweep and cmd/sweepworker:
+//
+//   - any call to the global log package's printers (log.Print[f|ln],
+//     log.Fatal*, log.Panic*), and
+//   - any fmt.Fprint/Fprintf/Fprintln whose first argument is the
+//     os.Stderr selector.
+//
+// Printing to an injected io.Writer (the daemon's `stderr` parameter) is
+// deliberately out of scope: that path is the test-visible CLI contract,
+// not ambient process-global output.
+var SweepLint = &Analyzer{
+	Name:      "sweeplint",
+	Doc:       "distsweep and sweepworker log through sweeplog, not ad-hoc stderr prints",
+	AppliesTo: inPaths("internal/distsweep", "cmd/sweepworker"),
+	Run:       runSweepLint,
+}
+
+// sweepLintLogFuncs are the process-global log printers banned in the
+// sweep layer. Setup calls (log.SetOutput, log.New, ...) are not printers
+// and stay legal.
+var sweepLintLogFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+func runSweepLint(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, fn := calleePkgFunc(info, call)
+			switch {
+			case pkg == "log" && sweepLintLogFuncs[fn]:
+				pass.Reportf(call.Pos(),
+					"log.%s in the sweep layer bypasses the structured sweep log; use sweeplog.Logger", fn)
+			case pkg == "fmt" && (fn == "Fprint" || fn == "Fprintf" || fn == "Fprintln") && stderrCall(info, call):
+				pass.Reportf(call.Pos(),
+					"fmt.%s(os.Stderr, ...) in the sweep layer bypasses the structured sweep log; use sweeplog.Logger", fn)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,46 @@
+// Package sweeplint is the sweeplint analyzer's fixture: ad-hoc stderr
+// prints and global-log printers are findings; writes to an injected
+// io.Writer and to non-stderr destinations are not.
+package sweeplint
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+func globalLogPrint(n int) {
+	log.Printf("dispatched batch %d", n)
+}
+
+func globalLogFatal(err error) {
+	log.Fatal(err)
+}
+
+func globalLogPanicln(err error) {
+	log.Panicln("sweep wedged:", err)
+}
+
+func stderrPrintf(err error) {
+	fmt.Fprintf(os.Stderr, "retrying: %v\n", err)
+}
+
+func stderrPrintln() {
+	fmt.Fprintln(os.Stderr, "worker evicted")
+}
+
+// Writing to an injected sink is the CLI contract, not ambient output.
+func injectedWriter(w io.Writer, addr string) {
+	fmt.Fprintf(w, "listening on %s\n", addr)
+}
+
+// Non-stderr fmt output is out of scope.
+func stdoutTable() {
+	fmt.Fprintln(os.Stdout, "policy  ipc")
+}
+
+// Constructing a scoped logger is setup, not printing.
+func scopedLogger(w io.Writer) *log.Logger {
+	return log.New(w, "sweep: ", 0)
+}

@@ -4,14 +4,21 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"specfetch/internal/hosttime"
 	"specfetch/internal/obs"
+	"specfetch/internal/sweeplog"
 	"specfetch/internal/xrand"
 )
 
@@ -37,15 +44,24 @@ type CoordinatorOptions struct {
 	// 0 means 2. Evicted workers take no further batches for the life of
 	// the coordinator — their in-flight work is re-queued to survivors.
 	EvictAfter int
-	// Metrics, when non-nil, receives specfetch_dispatch_* counters.
+	// Metrics, when non-nil, receives specfetch_dispatch_* counters, the
+	// queue-depth and in-flight gauges, and per-worker-slot batch-latency
+	// histograms.
 	Metrics *obs.Registry
 	// Spans, when non-nil, wraps every remote batch attempt in a host span
-	// on the dispatching worker slot's track.
+	// on the dispatching worker slot's track, and collects the per-job span
+	// timings workers return, re-anchored onto this tracer's axis
+	// (FleetSpans).
 	Spans *obs.SpanTracer
-	// Logf, when non-nil, receives dispatch diagnostics (retries,
-	// evictions, fallbacks). Diagnostics never go to stdout: sweep bytes
-	// must stay invariant.
-	Logf func(format string, args ...any)
+	// Log, when non-nil, records every scheduling decision — dispatch,
+	// retry with cause, backoff, requeue, eviction, local fallback — as
+	// structured JSONL. Decisions never go to stdout: sweep bytes must
+	// stay invariant.
+	Log *sweeplog.Logger
+	// Campaign names this coordinator's run in logs and on the wire, so a
+	// worker serving several coordinators can split its log by campaign.
+	// Empty derives a name from the process id.
+	Campaign string
 	// Client overrides the HTTP client (tests); nil builds a default.
 	Client *http.Client
 }
@@ -63,6 +79,16 @@ type workerState struct {
 	evicted bool
 }
 
+// fleetKey identifies one remote worker process: the same URL can be served
+// by a restarted daemon with a new pid, which renders as a new trace track.
+type fleetKey struct {
+	url string
+	pid int
+}
+
+// campaignSeq distinguishes campaigns created by one process.
+var campaignSeq atomic.Int64
+
 // Coordinator fans batches out to workers and reassembles results in
 // work-list order. It is safe for concurrent use: every Run carries its
 // own queue state, so overlapping sweeps (the ablation rows dispatch
@@ -70,12 +96,26 @@ type workerState struct {
 // fleet. Eviction state persists across sweeps, so a dead worker is not
 // re-probed by every table builder.
 type Coordinator struct {
-	opt    CoordinatorOptions
-	client *http.Client
+	opt      CoordinatorOptions
+	client   *http.Client
+	campaign string
 
 	mu      sync.Mutex
 	workers []*workerState
 	nextID  uint64
+
+	fleetMu sync.Mutex
+	fleet   map[fleetKey][]obs.HostSpan
+
+	// Aggregate dispatch statistics across all Runs, for Status and the
+	// registry gauges (atomics: several Runs may be in flight).
+	queueDepth    atomic.Int64
+	inflightN     atomic.Int64
+	remoteBatches atomic.Int64
+	remoteJobs    atomic.Int64
+	localBatches  atomic.Int64
+	retries       atomic.Int64
+	evictions     atomic.Int64
 }
 
 // New builds a coordinator over the given workers.
@@ -101,15 +141,22 @@ func New(opt CoordinatorOptions) *Coordinator {
 	if opt.EvictAfter <= 0 {
 		opt.EvictAfter = 2
 	}
-	c := &Coordinator{opt: opt, client: opt.Client}
+	c := &Coordinator{opt: opt, client: opt.Client, campaign: opt.Campaign}
 	if c.client == nil {
 		c.client = &http.Client{}
+	}
+	if c.campaign == "" {
+		c.campaign = fmt.Sprintf("c%d-%d", os.Getpid(), campaignSeq.Add(1))
 	}
 	for _, u := range opt.Workers {
 		c.workers = append(c.workers, &workerState{url: u})
 	}
 	return c
 }
+
+// Campaign returns the name stamped on this coordinator's batches and log
+// records.
+func (c *Coordinator) Campaign() string { return c.campaign }
 
 // Alive returns the URLs of workers not yet evicted.
 func (c *Coordinator) Alive() []string {
@@ -124,16 +171,52 @@ func (c *Coordinator) Alive() []string {
 	return out
 }
 
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.opt.Logf != nil {
-		c.opt.Logf(format, args...)
-	}
-}
-
 func (c *Coordinator) count(name, help string) {
 	if c.opt.Metrics != nil {
 		c.opt.Metrics.Counter(name, help).Inc()
 	}
+}
+
+// causeMetric renders a cause as a metric-name fragment (Prometheus names
+// take no dashes).
+func causeMetric(cause sweeplog.Cause) string {
+	return strings.ReplaceAll(string(cause), "-", "_")
+}
+
+// noteQueue applies a queue-depth / in-flight delta and mirrors the new
+// values into the registry gauges.
+func (c *Coordinator) noteQueue(dQueue, dInflight int64) {
+	q := c.queueDepth.Add(dQueue)
+	f := c.inflightN.Add(dInflight)
+	if c.opt.Metrics != nil {
+		c.opt.Metrics.Gauge("specfetch_dispatch_queue_depth",
+			"Batches waiting for a worker slot, across all in-flight sweeps.").Set(float64(q))
+		c.opt.Metrics.Gauge("specfetch_dispatch_inflight_batches",
+			"Batches currently being attempted on a worker.").Set(float64(f))
+	}
+}
+
+// dispatchError classifies a failed batch attempt for the retry taxonomy.
+type dispatchError struct {
+	cause sweeplog.Cause
+	err   error
+}
+
+func (e *dispatchError) Error() string { return e.err.Error() }
+func (e *dispatchError) Unwrap() error { return e.err }
+
+func classified(cause sweeplog.Cause, err error) error {
+	return &dispatchError{cause: cause, err: err}
+}
+
+// causeOf extracts the classification; an unclassified error (impossible
+// via tryBatch, but conservative) blames the network.
+func causeOf(err error) sweeplog.Cause {
+	var de *dispatchError
+	if errors.As(err, &de) {
+		return de.cause
+	}
+	return sweeplog.CauseNetwork
 }
 
 // batchWork is one in-flight batch: a contiguous window of the work-list.
@@ -146,6 +229,18 @@ type batchWork struct {
 	// cannot help, only the local runner can produce the authoritative
 	// (deterministic) outcome.
 	permanent bool
+}
+
+// localCause explains why a batch is leaving the remote path.
+func (b *batchWork) localCause(retries int) sweeplog.Cause {
+	switch {
+	case b.permanent:
+		return sweeplog.CausePermanent
+	case b.attempts > retries:
+		return sweeplog.CauseRetriesExhausted
+	default:
+		return sweeplog.CauseNoWorkers
+	}
 }
 
 // runState is the shared queue for one Run call. Workers pull from queue;
@@ -195,6 +290,7 @@ func (c *Coordinator) Run(jobs []JobSpec, local LocalRunner, onRemote func(offse
 		}
 	}
 	c.mu.Unlock()
+	c.noteQueue(int64(len(st.queue)), 0)
 
 	if alive > 0 {
 		var wg sync.WaitGroup
@@ -216,15 +312,21 @@ func (c *Coordinator) Run(jobs []JobSpec, local LocalRunner, onRemote func(offse
 	// lowest offset first, so the first error surfaced is the
 	// deterministic lowest-index one.
 	st.mu.Lock()
+	drained := len(st.queue)
 	st.local = append(st.local, st.queue...)
 	st.queue = nil
 	locals := st.local
 	st.mu.Unlock()
+	c.noteQueue(int64(-drained), 0)
 	sort.Slice(locals, func(i, j int) bool { return locals[i].offset < locals[j].offset })
 	for _, b := range locals {
+		cause := b.localCause(c.opt.Retries)
+		c.localBatches.Add(1)
 		c.count("specfetch_dispatch_local_batches_total",
 			"Batches that fell back to in-process execution.")
-		c.logf("distsweep: batch %d (offset %d, %d jobs) running locally", b.id, b.offset, len(b.jobs))
+		c.count("specfetch_dispatch_local_"+causeMetric(cause)+"_total",
+			"Local-fallback batches, by cause ("+string(cause)+").")
+		c.opt.Log.LocalFallback(c.campaign, b.id, b.offset, len(b.jobs), cause)
 		res, err := local(b.offset, b.jobs)
 		if err != nil {
 			return nil, err
@@ -252,13 +354,16 @@ func (c *Coordinator) dispatchLoop(slot int, w *workerState, st *runState, out [
 		st.queue = st.queue[1:]
 		st.inflight++
 		st.mu.Unlock()
+		c.noteQueue(-1, 1)
 
+		c.opt.Log.Dispatch(c.campaign, b.id, b.attempts+1, w.url, b.offset, len(b.jobs))
 		err := c.tryBatch(slot, w, b, out)
 		if err == nil {
 			st.mu.Lock()
 			st.inflight--
 			st.cond.Broadcast()
 			st.mu.Unlock()
+			c.noteQueue(0, -1)
 			c.mu.Lock()
 			w.fails = 0
 			c.mu.Unlock()
@@ -269,20 +374,26 @@ func (c *Coordinator) dispatchLoop(slot int, w *workerState, st *runState, out [
 		}
 
 		b.attempts++
+		cause := causeOf(err)
 		evict := false
+		fails := 0
 		if !b.permanent {
 			// The worker answered wrongly or not at all: blame it.
 			c.mu.Lock()
 			w.fails++
+			fails = w.fails
 			if w.fails >= c.opt.EvictAfter {
 				w.evicted = true
 				evict = true
 			}
 			c.mu.Unlock()
+			c.retries.Add(1)
 			c.count("specfetch_dispatch_retries_total",
 				"Failed remote batch attempts (each is retried elsewhere or locally).")
+			c.count("specfetch_dispatch_retry_"+causeMetric(cause)+"_total",
+				"Failed remote batch attempts, by cause ("+string(cause)+").")
 		}
-		c.logf("distsweep: batch %d attempt %d on %s failed: %v", b.id, b.attempts, w.url, err)
+		c.opt.Log.Retry(c.campaign, b.id, b.attempts, w.url, cause, err)
 
 		st.mu.Lock()
 		st.inflight--
@@ -290,18 +401,27 @@ func (c *Coordinator) dispatchLoop(slot int, w *workerState, st *runState, out [
 			st.local = append(st.local, b)
 		} else {
 			st.queue = append(st.queue, b)
+			c.opt.Log.Requeue(c.campaign, b.id, b.attempts)
 		}
 		st.cond.Broadcast()
 		st.mu.Unlock()
+		if b.permanent || b.attempts > c.opt.Retries {
+			c.noteQueue(0, -1)
+		} else {
+			c.noteQueue(1, -1)
+		}
 
 		if evict {
+			c.evictions.Add(1)
 			c.count("specfetch_dispatch_evictions_total",
 				"Workers evicted after consecutive failures.")
-			c.logf("distsweep: evicting worker %s after %d consecutive failures", w.url, c.opt.EvictAfter)
+			c.opt.Log.Evict(c.campaign, w.url, fails)
 			return
 		}
 		if !b.permanent {
-			time.Sleep(c.backoff(w, b))
+			d := c.backoff(w, b)
+			c.opt.Log.Backoff(c.campaign, w.url, fails, d)
+			time.Sleep(d)
 		}
 	}
 }
@@ -328,13 +448,14 @@ func (c *Coordinator) backoff(w *workerState, b *batchWork) time.Duration {
 // permanentErr marks a batch outcome remote retries cannot change.
 func permanentErr(b *batchWork, err error) error {
 	b.permanent = true
-	return err
+	return classified(sweeplog.CausePermanent, err)
 }
 
 // tryBatch POSTs one batch to one worker and, on success, writes the
 // results into their slots. Any protocol violation — wrong version, wrong
 // ID, wrong count, or a result whose counters do not rebuild the audit
-// identity the worker claims to have verified — is a worker fault.
+// identity the worker claims to have verified — is a worker fault,
+// classified for the retry taxonomy.
 func (c *Coordinator) tryBatch(slot int, w *workerState, b *batchWork, out []JobResult) error {
 	sp := c.opt.Spans.Start(fmt.Sprintf("dispatch/batch%d", b.id), slot)
 	defer func() {
@@ -342,12 +463,19 @@ func (c *Coordinator) tryBatch(slot int, w *workerState, b *batchWork, out []Job
 			c.opt.Metrics.Histogram("specfetch_dispatch_batch_seconds",
 				"Wall time per remote batch attempt (including failures).").
 				Observe(span.Dur.Seconds())
+			c.opt.Metrics.Histogram(fmt.Sprintf("specfetch_dispatch_batch_seconds_worker%d", slot),
+				"Wall time per remote batch attempt on this worker slot.").
+				Observe(span.Dur.Seconds())
 		}
 	}()
 
 	ctx, cancel := context.WithTimeout(context.Background(), c.opt.Timeout)
 	defer cancel()
-	body, err := json.Marshal(Batch{Version: WireVersion, ID: b.id, Jobs: b.jobs})
+	body, err := json.Marshal(Batch{
+		Version: WireVersion, ID: b.id,
+		Campaign: c.campaign, Attempt: b.attempts + 1,
+		Jobs: b.jobs,
+	})
 	if err != nil {
 		return permanentErr(b, fmt.Errorf("encoding batch: %w", err))
 	}
@@ -357,9 +485,10 @@ func (c *Coordinator) tryBatch(slot int, w *workerState, b *batchWork, out []Job
 	}
 	req.Header.Set("Content-Type", "application/json")
 
+	t0 := hosttime.Now()
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return fmt.Errorf("posting batch: %w", err)
+		return classified(sweeplog.CauseNetwork, fmt.Errorf("posting batch: %w", err))
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
@@ -374,34 +503,193 @@ func (c *Coordinator) tryBatch(slot int, w *workerState, b *batchWork, out []Job
 			// runner is the authority on what error the sweep reports.
 			return permanentErr(b, err)
 		}
-		return err
+		return classified(sweeplog.Cause5xx, err)
 	}
 
 	var br BatchResult
 	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
-		return fmt.Errorf("decoding result: %w", err)
+		return classified(sweeplog.CauseCorrupt, fmt.Errorf("decoding result: %w", err))
 	}
+	rtt := hosttime.Since(t0)
 	if br.Version != WireVersion {
-		return fmt.Errorf("result speaks wire version %d, want %d", br.Version, WireVersion)
+		return classified(sweeplog.CauseVersion,
+			fmt.Errorf("result speaks wire version %d, want %d", br.Version, WireVersion))
 	}
 	if br.ID != b.id {
-		return fmt.Errorf("result echoes batch %d, want %d", br.ID, b.id)
+		return classified(sweeplog.CauseCorrupt,
+			fmt.Errorf("result echoes batch %d, want %d", br.ID, b.id))
 	}
 	if len(br.Results) != len(b.jobs) {
-		return fmt.Errorf("result has %d entries for %d jobs", len(br.Results), len(b.jobs))
+		return classified(sweeplog.CauseCorrupt,
+			fmt.Errorf("result has %d entries for %d jobs", len(br.Results), len(b.jobs)))
 	}
 	for i, r := range br.Results {
 		if !r.SelfConsistent() {
 			c.count("specfetch_dispatch_audit_rejects_total",
 				"Batch results rejected because a result's counters do not rebuild its claimed audit identity.")
-			return fmt.Errorf("job %d result fails its audit self-check (tampered or corrupt)", b.offset+i)
+			return classified(sweeplog.CauseTamper,
+				fmt.Errorf("job %d result fails its audit self-check (tampered or corrupt)", b.offset+i))
 		}
 	}
 	copy(out[b.offset:], br.Results)
+	c.remoteBatches.Add(1)
+	c.remoteJobs.Add(int64(len(b.jobs)))
 	c.count("specfetch_dispatch_batches_total", "Batches completed remotely.")
 	if c.opt.Metrics != nil {
 		c.opt.Metrics.Counter("specfetch_dispatch_jobs_total", "Sweep jobs completed remotely.").
 			Add(int64(len(b.jobs)))
 	}
+	c.recordFleetSpans(w.url, &br, t0, rtt)
 	return nil
+}
+
+// recordFleetSpans re-anchors a worker's per-job span timings onto the
+// coordinator's span-tracer axis. The worker reports offsets on its own
+// monotonic clock; the only shared observation is the dispatch round-trip,
+// so batch-execution start is placed at the round-trip midpoint left over
+// after execution time — dispatch start + (rtt − exec)/2, the symmetric
+// network-delay assumption NTP makes — and clamped to the dispatch window.
+func (c *Coordinator) recordFleetSpans(url string, br *BatchResult, t0 hosttime.Instant, rtt time.Duration) {
+	if c.opt.Spans == nil || br.Pid == 0 || len(br.Spans) == 0 {
+		return
+	}
+	base := t0.Sub(c.opt.Spans.Epoch())
+	slack := (rtt - time.Duration(br.ExecUS)*time.Microsecond) / 2
+	if slack < 0 {
+		slack = 0
+	}
+	anchor := base + slack
+	spans := make([]obs.HostSpan, 0, len(br.Spans))
+	for _, ws := range br.Spans {
+		spans = append(spans, obs.HostSpan{
+			Name:    ws.Name,
+			Section: "batch " + strconv.FormatUint(br.ID, 10),
+			Worker:  0, // daemons run jobs serially: one track per process
+			Start:   anchor + time.Duration(ws.StartUS)*time.Microsecond,
+			Dur:     time.Duration(ws.DurUS) * time.Microsecond,
+		})
+	}
+	k := fleetKey{url: url, pid: br.Pid}
+	c.fleetMu.Lock()
+	if c.fleet == nil {
+		c.fleet = make(map[fleetKey][]obs.HostSpan)
+	}
+	c.fleet[k] = append(c.fleet[k], spans...)
+	c.fleetMu.Unlock()
+}
+
+// FleetSpans returns the re-anchored span timings of every remote worker
+// process that completed a batch, one ProcessSpans per (URL, pid), sorted
+// by URL then pid. Pass them to obs.WriteCombinedTrace to render the whole
+// fleet — local pool, every remote worker, and the scheduling gaps between
+// them — in one Perfetto file.
+func (c *Coordinator) FleetSpans() []obs.ProcessSpans {
+	if c == nil {
+		return nil
+	}
+	c.fleetMu.Lock()
+	defer c.fleetMu.Unlock()
+	keys := make([]fleetKey, 0, len(c.fleet))
+	for k := range c.fleet {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].url != keys[j].url {
+			return keys[i].url < keys[j].url
+		}
+		return keys[i].pid < keys[j].pid
+	})
+	out := make([]obs.ProcessSpans, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, obs.ProcessSpans{
+			Name:  fmt.Sprintf("worker %s (pid %d)", k.url, k.pid),
+			Spans: append([]obs.HostSpan(nil), c.fleet[k]...),
+		})
+	}
+	return out
+}
+
+// WorkerStatus is one worker's live dispatch state.
+type WorkerStatus struct {
+	URL     string
+	Fails   int
+	Evicted bool
+}
+
+// Status is a snapshot of the coordinator's aggregate dispatch state,
+// across all Runs it has served.
+type Status struct {
+	Campaign      string
+	QueueDepth    int64
+	Inflight      int64
+	RemoteBatches int64
+	RemoteJobs    int64
+	LocalBatches  int64
+	Retries       int64
+	Evictions     int64
+	Workers       []WorkerStatus
+}
+
+// Status snapshots the coordinator. A nil coordinator returns the zero
+// Status, so status endpoints need no guards.
+func (c *Coordinator) Status() Status {
+	if c == nil {
+		return Status{}
+	}
+	s := Status{
+		Campaign:      c.campaign,
+		QueueDepth:    c.queueDepth.Load(),
+		Inflight:      c.inflightN.Load(),
+		RemoteBatches: c.remoteBatches.Load(),
+		RemoteJobs:    c.remoteJobs.Load(),
+		LocalBatches:  c.localBatches.Load(),
+		Retries:       c.retries.Load(),
+		Evictions:     c.evictions.Load(),
+	}
+	c.mu.Lock()
+	for _, w := range c.workers {
+		s.Workers = append(s.Workers, WorkerStatus{URL: w.url, Fails: w.fails, Evicted: w.evicted})
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// StatusHandler serves a live plain-text flight-recorder view (/sweepz):
+// the Status snapshot plus, when log is non-nil, the most recent decision
+// records from its ring. Works on a nil coordinator (reports "no sweep
+// coordinator"), so callers can mount it unconditionally.
+func (c *Coordinator) StatusHandler(log *sweeplog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var sb strings.Builder
+		if c == nil {
+			sb.WriteString("no sweep coordinator (run with -remote-workers)\n")
+		} else {
+			s := c.Status()
+			fmt.Fprintf(&sb, "sweep coordinator: campaign %s\n", s.Campaign)
+			fmt.Fprintf(&sb, "queue depth:    %d\n", s.QueueDepth)
+			fmt.Fprintf(&sb, "in flight:      %d\n", s.Inflight)
+			fmt.Fprintf(&sb, "remote batches: %d (%d jobs)\n", s.RemoteBatches, s.RemoteJobs)
+			fmt.Fprintf(&sb, "local batches:  %d\n", s.LocalBatches)
+			fmt.Fprintf(&sb, "retries:        %d\n", s.Retries)
+			fmt.Fprintf(&sb, "evictions:      %d\n", s.Evictions)
+			sb.WriteString("workers:\n")
+			for _, ws := range s.Workers {
+				state := fmt.Sprintf("ok (fails=%d)", ws.Fails)
+				if ws.Evicted {
+					state = "EVICTED"
+				}
+				fmt.Fprintf(&sb, "  %-40s %s\n", ws.URL, state)
+			}
+		}
+		if recent := log.Recent(); len(recent) > 0 {
+			sb.WriteString("recent decisions:\n")
+			for _, line := range recent {
+				sb.WriteString("  ")
+				sb.WriteString(line)
+				sb.WriteByte('\n')
+			}
+		}
+		_, _ = io.WriteString(w, sb.String())
+	})
 }

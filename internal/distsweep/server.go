@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
 	"sync/atomic"
 
+	"specfetch/internal/hosttime"
 	"specfetch/internal/obs"
+	"specfetch/internal/sweeplog"
 )
 
 // Runner executes one validated job spec and returns the result plus the
@@ -21,8 +24,13 @@ type ServerOptions struct {
 	// Runner executes each job; required.
 	Runner Runner
 	// Metrics, when non-nil, receives worker-side counters
-	// (specfetch_worker_*) and is exposed at /metrics on the handler.
+	// (specfetch_worker_*), the sweep_batch_seconds histogram, the
+	// jobs_failed counter, and the wire_version gauge, and is exposed at
+	// /metrics on the handler.
 	Metrics *obs.Registry
+	// Log, when non-nil, records batch execution (batch_start, batch_done,
+	// job_error) under the campaign the coordinator stamped on the batch.
+	Log *sweeplog.Logger
 	// MaxBatchJobs rejects batches larger than this with HTTP 400;
 	// 0 means the default of 4096.
 	MaxBatchJobs int
@@ -51,6 +59,8 @@ func NewServer(opt ServerOptions) *Server {
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	if opt.Metrics != nil {
 		s.mux.Handle("GET /metrics", opt.Metrics.Handler())
+		opt.Metrics.Gauge("wire_version",
+			"Sweep wire protocol version this worker speaks.").Set(float64(WireVersion))
 	}
 	return s
 }
@@ -77,6 +87,10 @@ func (s *Server) fail(w http.ResponseWriter, status int, job int, format string,
 	if s.opt.Metrics != nil {
 		s.opt.Metrics.Counter("specfetch_worker_batch_errors_total",
 			"Batches answered with an error status.").Inc()
+		if job >= 0 {
+			s.opt.Metrics.Counter("jobs_failed",
+				"Sweep jobs that failed validation or execution on this worker.").Inc()
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -102,20 +116,39 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, job := range batch.Jobs {
 		if err := job.Validate(); err != nil {
+			s.opt.Log.JobError(batch.Campaign, batch.ID, i, err)
 			s.fail(w, http.StatusUnprocessableEntity, i, "job %d: %v", i, err)
 			return
 		}
 	}
 
-	out := BatchResult{Version: WireVersion, ID: batch.ID, Results: make([]JobResult, 0, len(batch.Jobs))}
+	s.opt.Log.BatchStart(batch.Campaign, batch.ID, batch.Attempt, len(batch.Jobs))
+	epoch := hosttime.Now()
+	out := BatchResult{
+		Version: WireVersion, ID: batch.ID,
+		Pid:     os.Getpid(),
+		Results: make([]JobResult, 0, len(batch.Jobs)),
+		Spans:   make([]WireSpan, 0, len(batch.Jobs)),
+	}
 	for i, job := range batch.Jobs {
+		start := hosttime.Now()
 		res, err := s.runJob(job)
 		if err != nil {
 			// A failing simulation is deterministic: every retry would fail
 			// identically, so report it permanent (422) with the job index.
+			s.opt.Log.JobError(batch.Campaign, batch.ID, i, err)
 			s.fail(w, http.StatusUnprocessableEntity, i, "job %d: %v", i, err)
 			return
 		}
+		// Per-job timing on this process's monotonic clock, as an offset
+		// from batch-execution start: the coordinator re-anchors these onto
+		// its own axis for the combined fleet trace.
+		out.Spans = append(out.Spans, WireSpan{
+			Job:     i,
+			Name:    job.Profile.Name + "/" + job.Config.Policy.String(),
+			StartUS: start.Sub(epoch).Microseconds(),
+			DurUS:   hosttime.Since(start).Microseconds(),
+		})
 		out.Results = append(out.Results, res)
 		s.jobs.Add(1)
 		if s.opt.Metrics != nil {
@@ -123,9 +156,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 				"Sweep jobs completed by this worker.").Inc()
 		}
 	}
+	exec := hosttime.Since(epoch)
+	out.ExecUS = exec.Microseconds()
+	s.opt.Log.BatchDone(batch.Campaign, batch.ID, len(batch.Jobs), exec)
 	if s.opt.Metrics != nil {
 		s.opt.Metrics.Counter("specfetch_worker_batches_total",
 			"Batches completed by this worker.").Inc()
+		s.opt.Metrics.Histogram("sweep_batch_seconds",
+			"Batch execution wall time on this worker.").Observe(exec.Seconds())
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {

@@ -151,10 +151,18 @@ func (s JobSpec) Validate() error {
 // Batch is the unit of dispatch: a contiguous slice of the sweep
 // work-list. ID is coordinator-assigned and echoed back so a late response
 // from a timed-out attempt can never be mistaken for the retry's.
+//
+// Campaign and Attempt are the batch's trace/log context, added to wire v1
+// additively (omitempty; absent fields decode to zero values, so old and
+// new peers interoperate): Campaign names the coordinator run so one
+// worker's log can be split by campaign, and Attempt ties worker-side
+// records to the coordinator's dispatch attempt counter.
 type Batch struct {
-	Version int       `json:"version"`
-	ID      uint64    `json:"id"`
-	Jobs    []JobSpec `json:"jobs"`
+	Version  int       `json:"version"`
+	ID       uint64    `json:"id"`
+	Campaign string    `json:"campaign,omitempty"`
+	Attempt  int       `json:"attempt,omitempty"`
+	Jobs     []JobSpec `json:"jobs"`
 }
 
 // JobResult pairs a simulation result with the worker's audit self-check:
@@ -172,11 +180,33 @@ func (r JobResult) SelfConsistent() bool {
 	return r.Result.AuditFinal() == r.Audit
 }
 
+// WireSpan is one job's execution timing on the worker's own monotonic
+// clock: StartUS is the offset from the start of batch execution, DurUS the
+// job's duration, both in microseconds. Offsets rather than absolute times
+// cross the wire because the two processes share no clock; the coordinator
+// re-anchors each span onto its own hosttime axis using the dispatch
+// round-trip (see Coordinator.FleetSpans).
+type WireSpan struct {
+	Job     int    `json:"job"`
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
 // BatchResult echoes the batch ID and carries one JobResult per job, in
 // job order.
+//
+// Pid, ExecUS, and Spans are the worker's telemetry sidecar, added to wire
+// v1 additively (omitempty): the worker process id keys fleet trace tracks,
+// ExecUS is the total batch execution time on the worker's clock, and Spans
+// carries per-job timings. All three are advisory — the reducer never reads
+// them, so they cannot perturb rendered artifact bytes.
 type BatchResult struct {
 	Version int         `json:"version"`
 	ID      uint64      `json:"id"`
+	Pid     int         `json:"pid,omitempty"`
+	ExecUS  int64       `json:"exec_us,omitempty"`
+	Spans   []WireSpan  `json:"spans,omitempty"`
 	Results []JobResult `json:"results"`
 }
 

@@ -43,8 +43,10 @@ func fixtureProfile() synth.Profile {
 func fixtureBatch() Batch {
 	l2 := cache.Config{SizeBytes: 256 * 1024, LineBytes: 32, Assoc: 4}
 	return Batch{
-		Version: WireVersion,
-		ID:      7,
+		Version:  WireVersion,
+		ID:       7,
+		Campaign: "c99-1",
+		Attempt:  2,
 		Jobs: []JobSpec{
 			{
 				Profile: fixtureProfile(),
@@ -92,7 +94,55 @@ func fixtureBatchResult() BatchResult {
 	return BatchResult{
 		Version: WireVersion,
 		ID:      7,
+		Pid:     4321,
+		ExecUS:  52_000,
+		Spans: []WireSpan{
+			{Job: 0, Name: "wiretest/pessimistic", StartUS: 0, DurUS: 52_000},
+		},
 		Results: []JobResult{{Result: res, Audit: res.AuditFinal()}},
+	}
+}
+
+// TestWireAdditive proves the v1 extension is additive: a pre-telemetry
+// peer's encoding (no campaign/attempt, no pid/exec_us/spans) still decodes,
+// with the new fields at their zero values — mixed fleets interoperate
+// without a version bump.
+func TestWireAdditive(t *testing.T) {
+	oldBatch := []byte(`{"version":1,"id":9,"jobs":[]}`)
+	var b Batch
+	if err := json.Unmarshal(oldBatch, &b); err != nil {
+		t.Fatalf("old batch encoding rejected: %v", err)
+	}
+	if b.Campaign != "" || b.Attempt != 0 {
+		t.Errorf("old batch decoded with non-zero telemetry fields: %+v", b)
+	}
+	oldResult := []byte(`{"version":1,"id":9,"results":[]}`)
+	var br BatchResult
+	if err := json.Unmarshal(oldResult, &br); err != nil {
+		t.Fatalf("old result encoding rejected: %v", err)
+	}
+	if br.Pid != 0 || br.ExecUS != 0 || br.Spans != nil {
+		t.Errorf("old result decoded with non-zero telemetry fields: %+v", br)
+	}
+
+	// And a zero-telemetry Batch/BatchResult encodes without the new keys.
+	raw, err := json.Marshal(Batch{Version: WireVersion, ID: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"campaign", "attempt"} {
+		if bytes.Contains(raw, []byte(key)) {
+			t.Errorf("zero-telemetry batch encodes %q: %s", key, raw)
+		}
+	}
+	raw, err = json.Marshal(BatchResult{Version: WireVersion, ID: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"pid", "exec_us", "spans"} {
+		if bytes.Contains(raw, []byte(key)) {
+			t.Errorf("zero-telemetry result encodes %q: %s", key, raw)
+		}
 	}
 }
 

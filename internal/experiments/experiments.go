@@ -7,6 +7,7 @@ import (
 	"specfetch/internal/core"
 	"specfetch/internal/distsweep"
 	"specfetch/internal/obs"
+	"specfetch/internal/sweeplog"
 	"specfetch/internal/synth"
 )
 
@@ -39,6 +40,12 @@ type Options struct {
 	// byte-identical with it on or off (asserted by the differential
 	// harness in shard_test.go).
 	Spans *obs.SpanTracer
+	// SweepLog, if non-nil, receives the structured scheduling decisions of
+	// Remote dispatch (retries, backoffs, evictions, local fallbacks). Like
+	// Spans, it is observe-only and never touches rendered bytes. It only
+	// takes effect when this Options builds the coordinator (Dispatch nil);
+	// an explicit Dispatch carries its own logger.
+	SweepLog *sweeplog.Logger
 	// Remote lists sweepworker base URLs ("http://host:8477"). When
 	// non-empty, every serializable sweep cell is dispatched to these
 	// workers in batches over the distsweep protocol instead of running on

@@ -45,6 +45,7 @@ func (opt Options) coordinator() *distsweep.Coordinator {
 		Workers: opt.Remote,
 		Metrics: opt.Metrics,
 		Spans:   opt.Spans,
+		Log:     opt.SweepLog,
 	})
 	coords[key] = c
 	return c

@@ -59,6 +59,17 @@ func NewSpanTracer() *SpanTracer {
 	return &SpanTracer{epoch: hosttime.Now()}
 }
 
+// Epoch returns the instant span offsets are measured from. The sweep
+// coordinator uses it to re-anchor remote workers' span timings onto the
+// same axis as local spans, so one combined trace shows the whole fleet.
+// A nil tracer returns the zero Instant.
+func (t *SpanTracer) Epoch() hosttime.Instant {
+	if t == nil {
+		return hosttime.Instant{}
+	}
+	return t.epoch
+}
+
 // SetSection labels spans ending from now on (until the next SetSection)
 // with the given section name.
 func (t *SpanTracer) SetSection(name string) {

@@ -32,10 +32,12 @@ const (
 )
 
 // Trace process ids: the simulated machine and the host-side simulator
-// render as two processes in one Perfetto view.
+// render as two processes in one Perfetto view. Remote worker processes in
+// a distributed sweep take pids from fleetPidBase upward, one per process.
 const (
-	tracePid = 1
-	hostPid  = 2
+	tracePid     = 1
+	hostPid      = 2
+	fleetPidBase = 3
 )
 
 // traceEmitter streams trace events as one Chrome trace-event JSON
@@ -99,13 +101,26 @@ func WriteHostTrace(w io.Writer, spans []HostSpan) error {
 	return WriteCombinedTrace(w, nil, spans)
 }
 
+// ProcessSpans is one remote process's worth of host spans for a fleet
+// trace: the coordinator collects per-cell span timings from each worker
+// daemon over the wire, re-anchors them onto its own hosttime axis, and
+// groups them by (worker URL, pid).
+type ProcessSpans struct {
+	// Name labels the process track, e.g. "worker http://host:port (pid 1234)".
+	Name string
+	// Spans are the process's completed spans, already re-anchored so Start
+	// is an offset on the coordinator's span-tracer axis.
+	Spans []HostSpan
+}
+
 // WriteCombinedTrace renders a simulated-machine event stream (pid 1, one
-// track per modelled resource) and host-side spans (pid 2, one track per
-// worker) into a single trace file. Either part may be empty. Machine
-// timestamps are simulated cycles mapped to microseconds; host timestamps
-// are real microseconds since the tracer's epoch — the processes share a
-// file, not a clock.
-func WriteCombinedTrace(w io.Writer, events []Event, spans []HostSpan) error {
+// track per modelled resource), host-side spans (pid 2, one track per
+// worker), and any number of remote worker processes (pids 3+, one per
+// fleet process) into a single trace file. Any part may be empty. Machine
+// timestamps are simulated cycles mapped to microseconds; host and fleet
+// timestamps are real microseconds on the coordinator's span-tracer axis —
+// the machine and the host share a file, not a clock.
+func WriteCombinedTrace(w io.Writer, events []Event, spans []HostSpan, fleet ...ProcessSpans) error {
 	e, err := newTraceEmitter(w)
 	if err != nil {
 		return err
@@ -116,7 +131,12 @@ func WriteCombinedTrace(w io.Writer, events []Event, spans []HostSpan) error {
 		}
 	}
 	if spans != nil {
-		if err := emitHostSpans(e, spans); err != nil {
+		if err := emitHostSpans(e, hostPid, "host", spans); err != nil {
+			return err
+		}
+	}
+	for i, p := range fleet {
+		if err := emitHostSpans(e, fleetPidBase+i, p.Name, p.Spans); err != nil {
 			return err
 		}
 	}
@@ -229,11 +249,13 @@ func emitMachineEvents(e *traceEmitter, events []Event) error {
 	return nil
 }
 
-// emitHostSpans writes the host process: a process_name, one thread_name
-// per worker seen in the span list, and one complete ("X") event per span.
-func emitHostSpans(e *traceEmitter, spans []HostSpan) error {
-	if err := e.emit(traceEvent{Name: "process_name", Ph: "M", Pid: hostPid, Tid: 0,
-		Args: map[string]any{"name": "host"}}); err != nil {
+// emitHostSpans writes one host-side process: a process_name, one
+// thread_name per worker seen in the span list, and one complete ("X")
+// event per span. The host pool and each remote fleet process render
+// through the same path, differing only in pid and label.
+func emitHostSpans(e *traceEmitter, pid int, procName string, spans []HostSpan) error {
+	if err := e.emit(traceEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]any{"name": procName}}); err != nil {
 		return err
 	}
 	maxWorker := 0
@@ -243,7 +265,7 @@ func emitHostSpans(e *traceEmitter, spans []HostSpan) error {
 		}
 	}
 	for w := 0; w <= maxWorker; w++ {
-		if err := e.emit(traceEvent{Name: "thread_name", Ph: "M", Pid: hostPid, Tid: w + 1,
+		if err := e.emit(traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: w + 1,
 			Args: map[string]any{"name": fmt.Sprintf("worker %d", w)}}); err != nil {
 			return err
 		}
@@ -257,7 +279,7 @@ func emitHostSpans(e *traceEmitter, spans []HostSpan) error {
 			Name: s.Name, Ph: "X",
 			Ts:   s.Start.Microseconds(),
 			Dur:  s.Dur.Microseconds(),
-			Pid:  hostPid, Tid: s.Worker + 1,
+			Pid:  pid, Tid: s.Worker + 1,
 			Args: args,
 		}); err != nil {
 			return err

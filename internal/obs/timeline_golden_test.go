@@ -159,6 +159,53 @@ func TestCombinedTraceWellFormed(t *testing.T) {
 	}
 }
 
+// TestFleetTraceWellFormed renders machine, host pool, and two remote
+// worker processes into one file and checks each fleet process gets its own
+// pid track with its spans — the "one Perfetto file shows the whole fleet"
+// contract.
+func TestFleetTraceWellFormed(t *testing.T) {
+	fleet := []ProcessSpans{
+		{Name: "worker http://a (pid 101)", Spans: []HostSpan{
+			{Name: "gcc/resume", Worker: 0, Start: 3 * time.Millisecond, Dur: 20 * time.Millisecond},
+			{Name: "groff/resume", Worker: 0, Start: 24 * time.Millisecond, Dur: 18 * time.Millisecond},
+		}},
+		{Name: "worker http://b (pid 102)", Spans: []HostSpan{
+			{Name: "gcc/pessimistic", Worker: 0, Start: 5 * time.Millisecond, Dur: 22 * time.Millisecond},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCombinedTrace(&buf, goldenEvents(), goldenSpans(), fleet...); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	procByPid := map[int]string{}
+	spansByPid := map[int]int{}
+	for _, ev := range doc.TraceEvents {
+		pid := int(ev["pid"].(float64))
+		ph, _ := ev["ph"].(string)
+		name, _ := ev["name"].(string)
+		if ph == "M" && name == "process_name" {
+			args, _ := ev["args"].(map[string]any)
+			procByPid[pid], _ = args["name"].(string)
+		}
+		if ph == "X" && pid >= 3 {
+			spansByPid[pid]++
+		}
+	}
+	if procByPid[3] != fleet[0].Name || procByPid[4] != fleet[1].Name {
+		t.Errorf("fleet process names = %q/%q, want %q/%q",
+			procByPid[3], procByPid[4], fleet[0].Name, fleet[1].Name)
+	}
+	if spansByPid[3] != 2 || spansByPid[4] != 1 {
+		t.Errorf("fleet span counts = %v, want pid3:2 pid4:1", spansByPid)
+	}
+}
+
 // TestChromeTraceWellFormed checks structural properties a viewer depends
 // on, independent of the exact golden bytes.
 func TestChromeTraceWellFormed(t *testing.T) {

@@ -1,0 +1,292 @@
+// Package sweeplog is the structured decision log of the distributed sweep
+// fleet: every scheduling decision the coordinator or a worker daemon makes
+// — dispatch, retry (with a cause taxonomy), backoff, requeue, eviction,
+// local fallback, batch execution — is recorded as one JSONL line under a
+// pinned schema, so a slow or degraded campaign can be debugged (or
+// replayed postmortem) from its log alone.
+//
+// The logger is built on log/slog with a custom handler, with two
+// deliberate deviations from stock slog:
+//
+//   - Timestamps go through internal/hosttime: each record carries "t_us",
+//     microseconds of monotonic offset since the logger's creation, never a
+//     calendar time. Wall-clock values cannot leak into artifacts, and two
+//     runs of the same campaign produce structurally comparable logs.
+//   - A nil *Logger is valid and inert, exactly like obs.Probe: call sites
+//     in the dispatch hot path need no guards, and the differential tests
+//     prove rendered sweep bytes are identical with logging on or off.
+//
+// Every logger also keeps a bounded in-memory ring of its most recent
+// rendered lines — the coordinator's flight recorder, served live by
+// paperbench's /sweepz endpoint even when no sink is configured.
+package sweeplog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"strconv"
+	"sync"
+	"time"
+
+	"specfetch/internal/hosttime"
+)
+
+// SchemaVersion is stamped on every record as "v". Bump it when a field is
+// renamed, retyped, or removed; the golden test pins the encoding.
+const SchemaVersion = 1
+
+// Cause classifies why a scheduling decision happened. The retry taxonomy
+// (network, 5xx, corrupt, version, tamper) blames the worker; the fallback
+// taxonomy (permanent, retries-exhausted, no-workers) explains why a batch
+// left the remote path.
+type Cause string
+
+const (
+	// CauseNetwork: transport error or timeout — the worker never answered.
+	CauseNetwork Cause = "network"
+	// Cause5xx: the worker answered with a 5xx status.
+	Cause5xx Cause = "5xx"
+	// CauseCorrupt: undecodable body or protocol violation (wrong batch ID
+	// or result count).
+	CauseCorrupt Cause = "corrupt"
+	// CauseVersion: the result speaks a different wire version.
+	CauseVersion Cause = "version"
+	// CauseTamper: a result's counters do not rebuild its claimed audit
+	// identity.
+	CauseTamper Cause = "tamper"
+	// CausePermanent: the worker proved the batch unrunnable (4xx); only
+	// the local runner can produce the authoritative outcome.
+	CausePermanent Cause = "permanent"
+	// CauseRetriesExhausted: the batch burned its remote retry budget.
+	CauseRetriesExhausted Cause = "retries-exhausted"
+	// CauseNoWorkers: no live worker was left to run the batch.
+	CauseNoWorkers Cause = "no-workers"
+)
+
+// Options configures a Logger.
+type Options struct {
+	// W receives one JSON record per line. Nil keeps the log in the ring
+	// only (flight-recorder mode).
+	W io.Writer
+	// RingSize bounds the in-memory flight recorder; 0 means 256, negative
+	// disables it.
+	RingSize int
+	// Clock overrides the monotonic offset source (tests pin it for the
+	// golden). Nil reads hosttime relative to New.
+	Clock func() time.Duration
+}
+
+// Logger records fleet scheduling decisions. A nil *Logger is inert; all
+// methods are safe for concurrent use.
+type Logger struct {
+	sl *slog.Logger
+	h  *handler
+}
+
+// New builds a logger. The record clock starts at zero here.
+func New(opt Options) *Logger {
+	ring := opt.RingSize
+	if ring == 0 {
+		ring = 256
+	}
+	if ring < 0 {
+		ring = 0
+	}
+	clock := opt.Clock
+	if clock == nil {
+		epoch := hosttime.Now()
+		clock = func() time.Duration { return hosttime.Since(epoch) }
+	}
+	h := &handler{w: opt.W, clock: clock, ringCap: ring}
+	return &Logger{sl: slog.New(h), h: h}
+}
+
+// handler is the slog.Handler rendering records as schema-pinned JSONL: a
+// fixed prefix ({"v":N,"t_us":N,"ev":"..."}) followed by the record's attrs
+// in call order. It ignores slog's wall-clock record time entirely.
+type handler struct {
+	clock   func() time.Duration
+	ringCap int
+
+	mu       sync.Mutex
+	w        io.Writer
+	ring     []string
+	ringNext int
+	err      error
+}
+
+func (h *handler) Enabled(context.Context, slog.Level) bool { return true }
+
+// WithAttrs and WithGroup are required by slog.Handler but unused: the
+// typed Logger methods always pass complete attr sets per record.
+func (h *handler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h *handler) WithGroup(string) slog.Handler      { return h }
+
+func (h *handler) Handle(_ context.Context, r slog.Record) error {
+	var b bytes.Buffer
+	b.WriteString(`{"v":`)
+	b.WriteString(strconv.Itoa(SchemaVersion))
+	b.WriteString(`,"t_us":`)
+	b.WriteString(strconv.FormatInt(h.clock().Microseconds(), 10))
+	b.WriteString(`,"ev":`)
+	appendJSONString(&b, r.Message)
+	r.Attrs(func(a slog.Attr) bool {
+		b.WriteByte(',')
+		appendJSONString(&b, a.Key)
+		b.WriteByte(':')
+		switch a.Value.Kind() {
+		case slog.KindInt64:
+			b.WriteString(strconv.FormatInt(a.Value.Int64(), 10))
+		case slog.KindUint64:
+			b.WriteString(strconv.FormatUint(a.Value.Uint64(), 10))
+		default:
+			appendJSONString(&b, a.Value.String())
+		}
+		return true
+	})
+	b.WriteByte('}')
+	line := b.String()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ringCap > 0 {
+		if len(h.ring) < h.ringCap {
+			h.ring = append(h.ring, line)
+		} else {
+			h.ring[h.ringNext] = line
+			h.ringNext = (h.ringNext + 1) % h.ringCap
+		}
+	}
+	if h.w != nil {
+		if _, err := io.WriteString(h.w, line+"\n"); err != nil && h.err == nil {
+			h.err = err
+		}
+	}
+	return nil
+}
+
+// appendJSONString writes s as a JSON string literal. json.Marshal of a
+// string cannot fail; the error is impossible by construction.
+func appendJSONString(b *bytes.Buffer, s string) {
+	enc, _ := json.Marshal(s)
+	b.Write(enc)
+}
+
+// log emits one record through the slog pipeline.
+func (l *Logger) log(ev string, attrs ...slog.Attr) {
+	if l == nil {
+		return
+	}
+	l.sl.LogAttrs(context.Background(), slog.LevelInfo, ev, attrs...)
+}
+
+// errAttr renders err for the log ("" for nil, which callers avoid).
+func errAttr(err error) slog.Attr {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	return slog.String("error", msg)
+}
+
+// Dispatch records one batch being handed to a worker for its
+// attempt-numbered try (attempt counts from 1).
+func (l *Logger) Dispatch(campaign string, batch uint64, attempt int, worker string, offset, jobs int) {
+	l.log("dispatch",
+		slog.String("campaign", campaign), slog.Uint64("batch", batch),
+		slog.Int("attempt", attempt), slog.String("worker", worker),
+		slog.Int("offset", offset), slog.Int("jobs", jobs))
+}
+
+// Retry records a failed remote attempt with its classified cause.
+func (l *Logger) Retry(campaign string, batch uint64, attempt int, worker string, cause Cause, err error) {
+	l.log("retry",
+		slog.String("campaign", campaign), slog.Uint64("batch", batch),
+		slog.Int("attempt", attempt), slog.String("worker", worker),
+		slog.String("cause", string(cause)), errAttr(err))
+}
+
+// Backoff records a worker sitting out after its fails-th consecutive
+// failure.
+func (l *Logger) Backoff(campaign, worker string, fails int, d time.Duration) {
+	l.log("backoff",
+		slog.String("campaign", campaign), slog.String("worker", worker),
+		slog.Int("fails", fails), slog.Int64("dur_us", d.Microseconds()))
+}
+
+// Requeue records a failed batch going back on the shared queue for
+// another worker.
+func (l *Logger) Requeue(campaign string, batch uint64, attempt int) {
+	l.log("requeue",
+		slog.String("campaign", campaign), slog.Uint64("batch", batch),
+		slog.Int("attempt", attempt))
+}
+
+// Evict records a worker being permanently removed from the fleet.
+func (l *Logger) Evict(campaign, worker string, fails int) {
+	l.log("evict",
+		slog.String("campaign", campaign), slog.String("worker", worker),
+		slog.Int("fails", fails))
+}
+
+// LocalFallback records a batch leaving the remote path for the in-process
+// runner, with why.
+func (l *Logger) LocalFallback(campaign string, batch uint64, offset, jobs int, cause Cause) {
+	l.log("local",
+		slog.String("campaign", campaign), slog.Uint64("batch", batch),
+		slog.Int("offset", offset), slog.Int("jobs", jobs),
+		slog.String("cause", string(cause)))
+}
+
+// BatchStart records (worker side) a batch beginning execution.
+func (l *Logger) BatchStart(campaign string, batch uint64, attempt, jobs int) {
+	l.log("batch_start",
+		slog.String("campaign", campaign), slog.Uint64("batch", batch),
+		slog.Int("attempt", attempt), slog.Int("jobs", jobs))
+}
+
+// BatchDone records (worker side) a batch completing after d of execution.
+func (l *Logger) BatchDone(campaign string, batch uint64, jobs int, d time.Duration) {
+	l.log("batch_done",
+		slog.String("campaign", campaign), slog.Uint64("batch", batch),
+		slog.Int("jobs", jobs), slog.Int64("dur_us", d.Microseconds()))
+}
+
+// JobError records (worker side) a job failing deterministically.
+func (l *Logger) JobError(campaign string, batch uint64, job int, err error) {
+	l.log("job_error",
+		slog.String("campaign", campaign), slog.Uint64("batch", batch),
+		slog.Int("job", job), errAttr(err))
+}
+
+// Recent returns the flight recorder's contents, oldest first.
+func (l *Logger) Recent() []string {
+	if l == nil {
+		return nil
+	}
+	h := l.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.ring))
+	if len(h.ring) < h.ringCap {
+		out = append(out, h.ring...)
+		return out
+	}
+	out = append(out, h.ring[h.ringNext:]...)
+	out = append(out, h.ring[:h.ringNext]...)
+	return out
+}
+
+// WriteErr returns the first sink write error, if any: a persisted decision
+// log that silently stopped persisting would defeat its postmortem purpose.
+func (l *Logger) WriteErr() error {
+	if l == nil {
+		return nil
+	}
+	l.h.mu.Lock()
+	defer l.h.mu.Unlock()
+	return l.h.err
+}

@@ -1,0 +1,168 @@
+package sweeplog
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// tickClock returns a Clock advancing 1500µs per record, so t_us values in
+// the golden are distinct and deterministic.
+func tickClock() func() time.Duration {
+	n := int64(0)
+	return func() time.Duration {
+		n++
+		return time.Duration(n) * 1500 * time.Microsecond
+	}
+}
+
+// emitAll drives every event method once — the full pinned schema.
+func emitAll(l *Logger) {
+	l.Dispatch("c1-0", 3, 1, "http://w0", 24, 8)
+	l.Retry("c1-0", 3, 1, "http://w0", Cause5xx, errors.New("worker http://w0: status 500"))
+	l.Backoff("c1-0", "http://w0", 1, 100*time.Millisecond)
+	l.Requeue("c1-0", 3, 1)
+	l.Retry("c1-0", 3, 2, "http://w1", CauseNetwork, errors.New("dial tcp: connection refused"))
+	l.Evict("c1-0", "http://w1", 2)
+	l.LocalFallback("c1-0", 3, 24, 8, CauseRetriesExhausted)
+	l.BatchStart("c1-0", 4, 1, 8)
+	l.JobError("c1-0", 4, 5, errors.New("job 5: insts must be positive"))
+	l.BatchDone("c1-0", 4, 8, 2345*time.Microsecond)
+}
+
+// TestSchemaGolden pins the JSONL encoding: schema version, key order, and
+// the attribute set of every event type. A diff here is a schema change and
+// must bump SchemaVersion.
+func TestSchemaGolden(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(Options{W: &buf, Clock: tickClock()})
+	emitAll(l)
+
+	path := filepath.Join("testdata", "sweeplog.golden.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run SchemaGolden -update` to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("sweep log diverged from %s:\n got: %s\nwant: %s\n(rerun with -update if intended; schema changes bump SchemaVersion)",
+			path, buf.String(), want)
+	}
+}
+
+// TestRecordsWellFormed parses every emitted line as JSON and checks the
+// fixed prefix fields independent of the golden bytes.
+func TestRecordsWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(Options{W: &buf, Clock: tickClock()})
+	emitAll(l)
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("emitted %d records, want 10", len(lines))
+	}
+	prevT := int64(0)
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if v, _ := rec["v"].(float64); int(v) != SchemaVersion {
+			t.Errorf("line %d: v = %v, want %d", i, rec["v"], SchemaVersion)
+		}
+		tus, ok := rec["t_us"].(float64)
+		if !ok || int64(tus) <= prevT {
+			t.Errorf("line %d: t_us = %v, want monotonically increasing past %d", i, rec["t_us"], prevT)
+		}
+		prevT = int64(tus)
+		if ev, _ := rec["ev"].(string); ev == "" {
+			t.Errorf("line %d: missing ev", i)
+		}
+		if !strings.HasPrefix(line, fmt.Sprintf(`{"v":%d,"t_us":`, SchemaVersion)) {
+			t.Errorf("line %d: fixed prefix violated: %s", i, line)
+		}
+	}
+}
+
+// TestNilLoggerInert: every method on a nil *Logger is a no-op, the pattern
+// call sites rely on to skip telemetry guards.
+func TestNilLoggerInert(t *testing.T) {
+	var l *Logger
+	emitAll(l)
+	if got := l.Recent(); got != nil {
+		t.Errorf("nil logger Recent() = %v, want nil", got)
+	}
+	if err := l.WriteErr(); err != nil {
+		t.Errorf("nil logger WriteErr() = %v, want nil", err)
+	}
+}
+
+// TestRingFlightRecorder: the ring keeps the most recent RingSize lines in
+// order and works without any sink writer.
+func TestRingFlightRecorder(t *testing.T) {
+	l := New(Options{RingSize: 4, Clock: tickClock()})
+	for i := 0; i < 10; i++ {
+		l.Requeue("c", uint64(i), 1)
+	}
+	got := l.Recent()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d lines, want 4", len(got))
+	}
+	for i, line := range got {
+		wantBatch := fmt.Sprintf(`"batch":%d`, 6+i)
+		if !strings.Contains(line, wantBatch) {
+			t.Errorf("ring[%d] = %s, want it to contain %s (oldest-first order)", i, line, wantBatch)
+		}
+	}
+
+	short := New(Options{RingSize: 4, Clock: tickClock()})
+	short.Requeue("c", 0, 1)
+	if got := short.Recent(); len(got) != 1 {
+		t.Errorf("partial ring holds %d lines, want 1", len(got))
+	}
+}
+
+// failWriter fails after n successful writes.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+// TestWriteErr: the first sink failure is captured and sticky.
+func TestWriteErr(t *testing.T) {
+	l := New(Options{W: &failWriter{n: 1}, Clock: tickClock()})
+	l.Requeue("c", 0, 1)
+	if err := l.WriteErr(); err != nil {
+		t.Fatalf("unexpected early write error: %v", err)
+	}
+	l.Requeue("c", 1, 1)
+	l.Requeue("c", 2, 1)
+	if err := l.WriteErr(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("WriteErr() = %v, want the first sink failure", err)
+	}
+	// The ring still records even when the sink is failing.
+	if got := l.Recent(); len(got) != 3 {
+		t.Errorf("ring holds %d lines, want 3", len(got))
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"specfetch/internal/metrics"
 	"specfetch/internal/obs"
 	"specfetch/internal/program"
+	"specfetch/internal/sweeplog"
 	"specfetch/internal/synth"
 	"specfetch/internal/trace"
 )
@@ -228,11 +229,18 @@ func NewSpanTracer() *SpanTracer { return obs.NewSpanTracer() }
 // track per worker.
 func WriteHostTrace(w io.Writer, spans []HostSpan) error { return obs.WriteHostTrace(w, spans) }
 
+// FleetProcessSpans is one remote process's named track of host spans, as
+// collected by a SweepCoordinator from its worker daemons (see
+// SweepCoordinator.FleetSpans).
+type FleetProcessSpans = obs.ProcessSpans
+
 // WriteCombinedTrace renders the machine timeline and host spans into one
 // Chrome trace: the simulated machine and the simulator that ran it,
-// side by side in https://ui.perfetto.dev.
-func WriteCombinedTrace(w io.Writer, events []Event, spans []HostSpan) error {
-	return obs.WriteCombinedTrace(w, events, spans)
+// side by side in https://ui.perfetto.dev. Optional fleet tracks (one per
+// remote worker process, re-anchored onto the coordinator's clock) extend
+// the same file to the whole distributed sweep.
+func WriteCombinedTrace(w io.Writer, events []Event, spans []HostSpan, fleet ...FleetProcessSpans) error {
+	return obs.WriteCombinedTrace(w, events, spans, fleet...)
 }
 
 // RunWithProbe is Run with an attached probe and sampling interval — a
@@ -386,4 +394,41 @@ type SweepServer = distsweep.Server
 // job-running callback.
 func NewSweepServer(opt SweepServerOptions) *SweepServer {
 	return distsweep.NewServer(opt)
+}
+
+// SweepLogger is the structured decision log of the distributed sweep
+// layer: a JSONL stream of dispatch/retry/backoff/requeue/evict/fallback
+// records with a pinned schema, plus an in-memory flight-recorder ring
+// (Recent) that /sweepz renders. A nil *SweepLogger is inert, like a nil
+// Probe, so logging never perturbs a sweep's rendered bytes.
+type SweepLogger = sweeplog.Logger
+
+// SweepLogOptions configures a SweepLogger (sink writer, ring size,
+// injectable clock).
+type SweepLogOptions = sweeplog.Options
+
+// SweepLogCause labels why a dispatch decision was taken (retry causes:
+// network, 5xx, corrupt, version, tamper; local-fallback causes:
+// permanent, retries-exhausted, no-workers).
+type SweepLogCause = sweeplog.Cause
+
+// The sweep log's decision-cause taxonomy.
+const (
+	SweepCauseNetwork          = sweeplog.CauseNetwork
+	SweepCause5xx              = sweeplog.Cause5xx
+	SweepCauseCorrupt          = sweeplog.CauseCorrupt
+	SweepCauseVersion          = sweeplog.CauseVersion
+	SweepCauseTamper           = sweeplog.CauseTamper
+	SweepCausePermanent        = sweeplog.CausePermanent
+	SweepCauseRetriesExhausted = sweeplog.CauseRetriesExhausted
+	SweepCauseNoWorkers        = sweeplog.CauseNoWorkers
+)
+
+// SweepLogSchemaVersion is the pinned "v" field of every sweep log record.
+const SweepLogSchemaVersion = sweeplog.SchemaVersion
+
+// NewSweepLogger builds a structured sweep logger. A zero Options logs to
+// the in-memory ring only (flight-recorder mode).
+func NewSweepLogger(opt SweepLogOptions) *SweepLogger {
+	return sweeplog.New(opt)
 }
