@@ -1,8 +1,11 @@
 // Command simlint runs specfetch's project-specific static analyzers over
 // the module: determinism (no wall clock / global rand / map-ordered
 // output in simulator packages), probeguard (nil-guarded probe hooks),
-// enumswitch (exhaustive switches over module enums), and errcheck
-// (no discarded errors in codecs and CLI I/O). It is a hard-fail CI gate.
+// enumswitch (exhaustive switches over module enums), errcheck (no
+// discarded errors in codecs and CLI I/O), sweeplint (structured logging
+// in the distributed-sweep layer), and unitcheck (cycle and issue-slot
+// quantities never mix or revert to raw integers without an explicit
+// conversion). It is a hard-fail CI gate.
 //
 // Packages are linted as a build-tag matrix: once under the default tag
 // set and once more per custom build tag found in their files, so code
@@ -14,7 +17,12 @@
 //	simlint ./...                      # whole module (testdata skipped)
 //	simlint ./internal/core            # one package
 //	simlint -only determinism ./...    # a subset of analyzers
+//	simlint -json ./...                # machine-readable findings for CI
 //	simlint -list                      # describe the analyzers
+//
+// With -json, findings are written to stdout as one JSON array of
+// {file, line, col, analyzer, message} objects (the empty array when
+// clean), so CI can annotate them; exit status is unchanged.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 package main
@@ -30,6 +38,7 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (file/line/col/analyzer/message)")
 	flag.Parse()
 
 	if *list {
@@ -78,8 +87,15 @@ func main() {
 	}
 
 	diags := analysis.RunMatrix(variants, analyzers)
-	for _, d := range diags {
-		emit(d.String(cwd))
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, diags, cwd); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: stdout: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			emit(d.String(cwd))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))

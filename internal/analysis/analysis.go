@@ -23,6 +23,10 @@
 //   - sweeplint: the distributed-sweep layer (internal/distsweep,
 //     cmd/sweepworker) logs through the structured sweep log, never via
 //     ad-hoc fmt.Fprintf(os.Stderr, ...) or the global log package.
+//   - unitcheck: cycle counts (metrics.Cycles) and issue-slot counts
+//     (metrics.Slots) never mix or revert to raw integers without an
+//     explicit conversion — slots = cycles × width is the identity every
+//     ISPI table rests on.
 //
 // Run it with `go run ./cmd/simlint ./...`; the runtime counterpart of
 // these checks is obs.AuditProbe.
@@ -87,7 +91,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, ProbeGuard, EnumSwitch, ErrCheck, SweepLint}
+	return []*Analyzer{Determinism, ProbeGuard, EnumSwitch, ErrCheck, SweepLint, UnitCheck}
 }
 
 // ByName resolves a comma-separated analyzer list ("determinism,errcheck").

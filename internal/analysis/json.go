@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// DiagnosticJSON is the machine-readable rendering of one finding, stable
+// for CI annotation tooling: file (relative to the lint root when possible),
+// 1-based line/column, analyzer name, and message.
+type DiagnosticJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// relFile renders file relative to base when it lies under it, mirroring
+// Diagnostic.String.
+func relFile(base, file string) string {
+	if base != "" {
+		if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+	}
+	return file
+}
+
+// JSONDiagnostics converts findings to their machine-readable form, in the
+// given order (callers pass Run output, already position-sorted).
+func JSONDiagnostics(diags []Diagnostic, base string) []DiagnosticJSON {
+	out := make([]DiagnosticJSON, len(diags))
+	for i, d := range diags {
+		out[i] = DiagnosticJSON{
+			File:     relFile(base, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the findings to w as one JSON array (never null: a clean
+// run is the empty array), newline-terminated.
+func WriteJSON(w io.Writer, diags []Diagnostic, base string) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(JSONDiagnostics(diags, base))
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSON runs the unitcheck fixture and checks the -json rendering:
+// valid JSON, one object per finding in position order, fixture-relative
+// paths, and the exact field set CI annotation needs.
+func TestWriteJSON(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "unitcheck")
+	pkgs, err := Load(".", []string{dir})
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := Run(pkgs, []*Analyzer{UnitCheck})
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	base, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := WriteJSON(&sb, diags, base); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []DiagnosticJSON
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(decoded) != len(diags) {
+		t.Fatalf("decoded %d findings, want %d", len(decoded), len(diags))
+	}
+	for i, d := range decoded {
+		want := diags[i]
+		if d.File != "unitcheck.go" {
+			t.Errorf("finding %d file = %q, want fixture-relative %q", i, d.File, "unitcheck.go")
+		}
+		if d.Line != want.Pos.Line || d.Col != want.Pos.Column {
+			t.Errorf("finding %d at %d:%d, want %d:%d", i, d.Line, d.Col, want.Pos.Line, want.Pos.Column)
+		}
+		if d.Analyzer != "unitcheck" {
+			t.Errorf("finding %d analyzer = %q", i, d.Analyzer)
+		}
+		if d.Message == "" {
+			t.Errorf("finding %d has an empty message", i)
+		}
+		if i > 0 && decoded[i-1].Line > d.Line {
+			t.Errorf("findings out of position order at %d", i)
+		}
+	}
+
+	// A clean run is the empty array, not null — CI consumers index it.
+	sb.Reset()
+	if err := WriteJSON(&sb, nil, base); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(sb.String()); got != "[]" {
+		t.Errorf("empty findings render %q, want []", got)
+	}
+
+	// A file outside base stays absolute rather than escaping upward.
+	outside := diags[0]
+	outside.Pos.Filename = "/nowhere/else.go"
+	js := JSONDiagnostics([]Diagnostic{outside}, base)
+	if js[0].File != "/nowhere/else.go" {
+		t.Errorf("out-of-base file rendered %q, want absolute path", js[0].File)
+	}
+}

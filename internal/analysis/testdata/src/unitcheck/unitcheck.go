@@ -1,0 +1,60 @@
+// Package unitcheck is the unitcheck analyzer's fixture: every way the
+// Cycles/Slots dimensional contract can be broken without a compile error —
+// cross-conversions, raw-integer unwraps, hand-rolled width products, and
+// raw declarations whose names claim a unit. The interleaved sanctioned
+// forms (helper crossings, Int64 boundaries, float ratios, constant scales)
+// must produce no findings; the unitcheckok fixture covers them
+// exhaustively.
+package unitcheck
+
+import "specfetch/internal/metrics"
+
+// crossConversions re-label one unit as the other, silently dropping the
+// fetch-width factor. Both directions are findings.
+func crossConversions(c metrics.Cycles, s metrics.Slots) {
+	_ = metrics.Slots(c)  // want: direct Cycles -> Slots conversion
+	_ = metrics.Cycles(s) // want: direct Slots -> Cycles conversion
+	_ = c.Slots(4)        // sanctioned crossing: no finding
+	_ = s.Cycles(4)       // sanctioned crossing: no finding
+}
+
+// intUnwraps launder the dimension away mid-expression instead of crossing
+// at a declared Int64 boundary.
+func intUnwraps(c metrics.Cycles, s metrics.Slots) {
+	_ = int64(c)  // want: unwrapped to raw int64
+	_ = int(s)    // want: unwrapped to raw int
+	_ = uint64(c) // want: unwrapped to raw uint64
+	_ = c.Int64() // sanctioned boundary: no finding
+	// Dimensionless ratios leave the unit system through floats, legally.
+	_ = float64(s) / float64(c.Int64())
+}
+
+// handRolledScaling multiplies two unit-typed values: width scaling written
+// by hand, where a transposed factor is invisible.
+func handRolledScaling(c metrics.Cycles, s metrics.Slots, width int) metrics.Slots {
+	_ = metrics.Cycles(int64(width)) * c // want: product of two unit-typed values
+	_ = s * metrics.Slots(int64(width))  // want: product of two unit-typed values
+	_ = c * 2                            // constant scale: no finding
+	_ = metrics.Slots(4) * s             // constant operand: no finding
+	return c.Slots(width)                // the sanctioned form
+}
+
+// rawDecls claim a unit by name but revert to the untyped world.
+type rawDecls struct {
+	StallCycles int64 // want: field declared as raw int64
+	LostSlots   int64 // want: field declared as raw int64
+
+	// Wire/export fields stay raw int64 by design; the json tag marks the
+	// boundary.
+	Cycles int64 `json:"cycles"`
+	Slots  int64 `json:"slots,omitempty"`
+}
+
+// rawSignature's parameter and named result claim units over raw integers.
+func rawSignature(cy int64) (fillCycles int64) { // want: parameter cy, result fillCycles
+	var idleSlots int64 // want: var declared as raw int64
+	_ = idleSlots
+	var insts int64 // unit-free name: no finding
+	_ = insts
+	return cy
+}

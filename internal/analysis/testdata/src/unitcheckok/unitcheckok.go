@@ -1,0 +1,55 @@
+// Package unitcheckok is the unitcheck analyzer's negative fixture: every
+// sanctioned way to move between Cycles, Slots, and the raw-integer world.
+// The analyzer must report nothing here — each form below is the one the
+// diagnostics in the positive fixture tell the author to use.
+package unitcheckok
+
+import "specfetch/internal/metrics"
+
+// helperCrossings use the width-carrying conversion methods, the only legal
+// Cycles<->Slots crossings.
+func helperCrossings(c metrics.Cycles, s metrics.Slots, width int) {
+	_ = c.Slots(width)
+	_ = s.Cycles(width)
+	_ = (c + 3).Slots(width)    // method on a derived expression
+	_ = (s - s/2).Cycles(width) // same-unit arithmetic stays typed
+	_ = c.Slots(width) + s      // the result participates as Slots
+	_ = s.PerInst(1000)         // dimensionless ratio via the helper
+}
+
+// boundaries unwrap through the named Int64 method and wrap raw integers
+// into the unit system with plain conversions — both directions are
+// explicit and legal.
+func boundaries(c metrics.Cycles, s metrics.Slots, raw int64) {
+	_ = c.Int64()
+	_ = s.Int64()
+	_ = metrics.Cycles(raw)     // entering the unit system is fine
+	_ = metrics.Slots(raw + 1)  // including from expressions
+	_ = metrics.Cycles(7)       // and from constants
+	_ = float64(c) / float64(s) // float conversions are dimensionless ratios
+}
+
+// untypedScaling multiplies by untyped constants, which the unit types
+// absorb without a conversion.
+func untypedScaling(c metrics.Cycles, s metrics.Slots) {
+	_ = c * 2
+	_ = 3 * s
+	_ = c + 1
+	_ = s % 4
+	if c > 100 && s >= 0 {
+		return
+	}
+}
+
+// wire is an export struct: json-tagged fields stay raw int64 by design,
+// with conversions at encode time.
+type wire struct {
+	Cy    int64 `json:"cy"`
+	Until int64 `json:"until,omitempty"`
+	Slots int64 `json:"slots,omitempty"`
+}
+
+// encode crosses the boundary exactly once, at the wire struct literal.
+func encode(c metrics.Cycles, s metrics.Slots) wire {
+	return wire{Cy: c.Int64(), Until: (c + 5).Int64(), Slots: s.Int64()}
+}

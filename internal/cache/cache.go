@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"specfetch/internal/isa"
+	"specfetch/internal/metrics"
 )
 
 // Config sizes an instruction cache.
@@ -295,26 +296,26 @@ func (c *ICache) Reset() {
 // penalty; the paper's contention effects (Resume's bus component, prefetch
 // blocking a demand miss) all come from this serialization.
 type Bus struct {
-	freeAt int64
+	freeAt metrics.Cycles
 	// Transfers counts line movements over the bus — the paper's memory
 	// traffic metric.
 	Transfers uint64
 }
 
 // FreeAt returns the first cycle at which a new transfer may start.
-func (b *Bus) FreeAt() int64 { return b.freeAt }
+func (b *Bus) FreeAt() metrics.Cycles { return b.freeAt }
 
 // Busy reports whether the bus is occupied at cycle now.
-func (b *Bus) Busy(now int64) bool { return now < b.freeAt }
+func (b *Bus) Busy(now metrics.Cycles) bool { return now < b.freeAt }
 
 // Start begins a transfer of the given duration at the later of now and the
 // bus becoming free; it returns the completion cycle.
-func (b *Bus) Start(now int64, duration int) int64 {
+func (b *Bus) Start(now metrics.Cycles, duration int) metrics.Cycles {
 	start := now
 	if b.freeAt > start {
 		start = b.freeAt
 	}
-	b.freeAt = start + int64(duration)
+	b.freeAt = start + metrics.Cycles(duration)
 	b.Transfers++
 	return b.freeAt
 }
@@ -329,11 +330,11 @@ func (b *Bus) Reset() { b.freeAt = 0; b.Transfers = 0 }
 type LineBuffer struct {
 	valid   bool
 	line    uint64
-	readyAt int64
+	readyAt metrics.Cycles
 }
 
 // Set records a fill in flight for line, completing at readyAt.
-func (lb *LineBuffer) Set(line uint64, readyAt int64) {
+func (lb *LineBuffer) Set(line uint64, readyAt metrics.Cycles) {
 	lb.valid = true
 	lb.line = line
 	lb.readyAt = readyAt
@@ -346,24 +347,24 @@ func (lb *LineBuffer) Valid() bool { return lb.valid }
 func (lb *LineBuffer) Line() uint64 { return lb.line }
 
 // ReadyAt returns the fill completion cycle (meaningful only when Valid).
-func (lb *LineBuffer) ReadyAt() int64 { return lb.readyAt }
+func (lb *LineBuffer) ReadyAt() metrics.Cycles { return lb.readyAt }
 
 // Ready reports whether the buffer holds line and its fill has completed by
 // cycle now.
-func (lb *LineBuffer) Ready(line uint64, now int64) bool {
+func (lb *LineBuffer) Ready(line uint64, now metrics.Cycles) bool {
 	return lb.valid && lb.line == line && now >= lb.readyAt
 }
 
 // Pending reports whether the buffer is receiving line but the fill has not
 // completed by now.
-func (lb *LineBuffer) Pending(now int64) bool { return lb.valid && now < lb.readyAt }
+func (lb *LineBuffer) Pending(now metrics.Cycles) bool { return lb.valid && now < lb.readyAt }
 
 // Clear empties the buffer.
 func (lb *LineBuffer) Clear() { *lb = LineBuffer{} }
 
 // CommitTo writes the buffered line into the cache (if complete) and clears
 // the buffer. It reports whether a commit happened.
-func (lb *LineBuffer) CommitTo(c *ICache, now int64) bool {
+func (lb *LineBuffer) CommitTo(c *ICache, now metrics.Cycles) bool {
 	if !lb.valid || now < lb.readyAt {
 		return false
 	}

@@ -87,7 +87,7 @@ func TestAuditDetectsInjectedAccountingBug(t *testing.T) {
 
 	// A bus stall double-charged by one fetch group's worth of slots.
 	bad := res.AuditFinal()
-	bad.Lost[metrics.Bus] += int64(cfg.FetchWidth)
+	bad.Lost[metrics.Bus] += metrics.Slots(cfg.FetchWidth)
 	err = aud.Verify(bad)
 	if err == nil {
 		t.Error("double-charged bus stall verified clean")

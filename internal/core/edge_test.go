@@ -19,10 +19,10 @@ func TestScalarMachine(t *testing.T) {
 	cfg.FetchWidth = 1
 	res := run(t, cfg, img, recs)
 	// Two lines: 2 cold misses (5 cycles each) + 16 issue cycles.
-	if got, want := res.Cycles, int64(2*5+16); got != want {
+	if got, want := res.Cycles, Cycles(2*5+16); got != want {
 		t.Errorf("cycles = %d, want %d", got, want)
 	}
-	if got, want := res.Lost.Total(), int64(10); got != want {
+	if got, want := res.Lost.Total(), Slots(10); got != want {
 		t.Errorf("lost slots = %d, want %d (1 slot per stall cycle)", got, want)
 	}
 }
@@ -39,7 +39,7 @@ func TestUnitMissPenalty(t *testing.T) {
 	if res.Insts != 64 {
 		t.Fatalf("insts = %d", res.Insts)
 	}
-	if got, want := res.Lost[metrics.RTICache], int64(8*1*4); got != want {
+	if got, want := res.Lost[metrics.RTICache], Slots(8*1*4); got != want {
 		t.Errorf("rt_icache = %d, want %d", got, want)
 	}
 }

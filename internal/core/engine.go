@@ -33,12 +33,12 @@ type Engine struct {
 	prefBufs []cache.LineBuffer
 	ras      *bpred.RAS // return-address stack (nil when disabled)
 
-	cy          int64 // current cycle
-	lastIssueCy int64 // last cycle in which correct-path instructions issued
+	cy          Cycles // current cycle
+	lastIssueCy Cycles // last cycle in which correct-path instructions issued
 
 	// condSlots holds the resolve cycles of in-flight correct-path
 	// conditional branches (FIFO; times are monotone).
-	condSlots []int64
+	condSlots []Cycles
 	// wrongConds counts wrong-path conditionals currently occupying
 	// speculation slots; they are squashed when the window ends.
 	wrongConds int
@@ -86,14 +86,14 @@ type Engine struct {
 
 // btbUpdate is a decode-time speculative BTB insertion.
 type btbUpdate struct {
-	at     int64
+	at     Cycles
 	pc     isa.Addr
 	target isa.Addr
 }
 
 // resolveUpdate trains the predictor when a correct-path branch resolves.
 type resolveUpdate struct {
-	at       int64
+	at       Cycles
 	pc       isa.Addr
 	taken    bool
 	indirect bool
@@ -129,7 +129,7 @@ func NewEngine(cfg Config, img *program.Image, rd trace.Reader, pred bpred.Predi
 		ic:   ic,
 	}
 	e.res.Policy = cfg.Policy
-	e.lastIssueCy = -int64(cfg.DecodeLatency) // nothing pending at t=0
+	e.lastIssueCy = -Cycles(cfg.DecodeLatency) // nothing pending at t=0
 	if cfg.RASDepth > 0 {
 		e.ras = bpred.NewRAS(cfg.RASDepth)
 	}
@@ -194,7 +194,7 @@ func (e *Engine) Run() (Result, error) {
 }
 
 // emitSample delivers a cumulative-counters snapshot to the sampler.
-func (e *Engine) emitSample(cy int64) {
+func (e *Engine) emitSample(cy Cycles) {
 	if e.sampler == nil {
 		return
 	}
@@ -266,7 +266,7 @@ func (e *Engine) consumeInst() {
 // applyUpdates replays delayed predictor updates whose time has come, in
 // time order, so predictions at cycle `now` see exactly the state a real
 // machine would have.
-func (e *Engine) applyUpdates(now int64) {
+func (e *Engine) applyUpdates(now Cycles) {
 	for len(e.btbQ) > 0 || len(e.resolveQ) > 0 {
 		bOK := len(e.btbQ) > 0 && e.btbQ[0].at <= now
 		rOK := len(e.resolveQ) > 0 && e.resolveQ[0].at <= now
@@ -313,15 +313,15 @@ func (e *Engine) fillLatency(line uint64) int {
 // returns its completion cycle, honouring the L2 hierarchy and the
 // pipelined-memory extension. haveLine=false skips the L2 consultation
 // (full memory latency). kind labels the transfer for the probe.
-func (e *Engine) busStartLine(at int64, line uint64, haveLine bool, kind obs.FillKind) int64 {
+func (e *Engine) busStartLine(at Cycles, line uint64, haveLine bool, kind obs.FillKind) Cycles {
 	lat := e.cfg.MissPenalty
 	if haveLine {
 		lat = e.fillLatency(line)
 	}
-	var start, done int64
+	var start, done Cycles
 	if e.cfg.PipelinedMemory {
 		e.bus.Transfers++
-		start, done = at, at+int64(lat)
+		start, done = at, at+Cycles(lat)
 	} else {
 		start = at
 		if f := e.bus.FreeAt(); f > start {
@@ -337,7 +337,7 @@ func (e *Engine) busStartLine(at int64, line uint64, haveLine bool, kind obs.Fil
 }
 
 // busFreeAt returns when a new transfer may start.
-func (e *Engine) busFreeAt() int64 {
+func (e *Engine) busFreeAt() Cycles {
 	if e.cfg.PipelinedMemory {
 		return 0
 	}
@@ -345,7 +345,7 @@ func (e *Engine) busFreeAt() int64 {
 }
 
 // busBusy reports whether a new transfer must wait at cycle now.
-func (e *Engine) busBusy(now int64) bool {
+func (e *Engine) busBusy(now Cycles) bool {
 	if e.cfg.PipelinedMemory {
 		return false
 	}
@@ -359,7 +359,7 @@ func (e *Engine) armTargetPrefetch(target isa.Addr) {
 }
 
 // retireConds frees speculation slots whose branches have resolved by now.
-func (e *Engine) retireConds(now int64) {
+func (e *Engine) retireConds(now Cycles) {
 	i := 0
 	for i < len(e.condSlots) && e.condSlots[i] <= now {
 		i++
@@ -372,7 +372,7 @@ func (e *Engine) retireConds(now int64) {
 // chargePhase describes one attribution interval of a stall: dead cycles
 // strictly before `until` belong to `comp`.
 type chargePhase struct {
-	until int64
+	until Cycles
 	comp  metrics.Component
 }
 
@@ -381,12 +381,12 @@ type chargePhase struct {
 // resumeAt-1 are fully lost, and fetch restarts at resumeAt. Each dead cycle
 // is attributed to the first phase whose `until` exceeds it; the final
 // phase's until must be >= resumeAt.
-func (e *Engine) chargeStall(slotsIssued int, phases []chargePhase, resumeAt int64) {
-	w := int64(e.cfg.FetchWidth)
+func (e *Engine) chargeStall(slotsIssued int, phases []chargePhase, resumeAt Cycles) {
+	w := Slots(e.cfg.FetchWidth)
 	for c := e.cy; c < resumeAt; c++ {
 		lost := w
 		if c == e.cy {
-			lost = w - int64(slotsIssued)
+			lost = w - Slots(slotsIssued)
 		}
 		comp := phases[len(phases)-1].comp
 		for _, p := range phases {
@@ -405,19 +405,19 @@ func (e *Engine) chargeStall(slotsIssued int, phases []chargePhase, resumeAt int
 
 // emitStallSegments replays a stall's attribution as contiguous
 // per-component probe segments (called only when a probe is attached).
-func (e *Engine) emitStallSegments(slotsIssued int, phases []chargePhase, resumeAt int64) {
+func (e *Engine) emitStallSegments(slotsIssued int, phases []chargePhase, resumeAt Cycles) {
 	if e.probe == nil {
 		return
 	}
-	w := int64(e.cfg.FetchWidth)
+	w := Slots(e.cfg.FetchWidth)
 	segStart := e.cy
 	var segComp metrics.Component
-	var segSlots int64
+	var segSlots Slots
 	haveSeg := false
 	for c := e.cy; c < resumeAt; c++ {
 		lost := w
 		if c == e.cy {
-			lost = w - int64(slotsIssued)
+			lost = w - Slots(slotsIssued)
 		}
 		comp := phases[len(phases)-1].comp
 		for _, p := range phases {
@@ -451,7 +451,7 @@ const (
 // fills have completed as resident (and committing them, as the paper writes
 // buffered lines back at the next opportunity). When the needed line is in
 // flight it returns lookupPendingFill with the completion time.
-func (e *Engine) lineLookup(line uint64, now int64) (lookupKind, int64) {
+func (e *Engine) lineLookup(line uint64, now Cycles) (lookupKind, Cycles) {
 	if e.ic.Access(line) {
 		return lookupHit, 0
 	}
@@ -473,7 +473,7 @@ func (e *Engine) lineLookup(line uint64, now int64) (lookupKind, int64) {
 
 // commitCompletedBuffers writes any finished buffered fills into the cache
 // array; the paper does this at the next I-cache miss.
-func (e *Engine) commitCompletedBuffers(now int64) {
+func (e *Engine) commitCompletedBuffers(now Cycles) {
 	for _, bufs := range [2][]cache.LineBuffer{e.resumeBufs, e.prefBufs} {
 		for i := range bufs {
 			if b := &bufs[i]; b.Valid() && now >= b.ReadyAt() {
@@ -498,7 +498,7 @@ func (e *Engine) bufferedLine(line uint64) bool {
 // freeBuffer finds a usable buffer in bufs: an invalid one, or one whose
 // fill completed (which is committed first). It returns nil when all are
 // still in flight.
-func (e *Engine) freeBuffer(bufs []cache.LineBuffer, now int64) *cache.LineBuffer {
+func (e *Engine) freeBuffer(bufs []cache.LineBuffer, now Cycles) *cache.LineBuffer {
 	for i := range bufs {
 		if !bufs[i].Valid() {
 			return &bufs[i]
@@ -630,7 +630,7 @@ func (e *Engine) finishCycle() {
 // committed first). Candidates are considered in priority order: branch
 // target (TargetPrefetch extension), next line (the paper's policy), then
 // the sequential stream (StreamDepth extension).
-func (e *Engine) tryPrefetch(now int64) {
+func (e *Engine) tryPrefetch(now Cycles) {
 	if !e.prefetchOn() {
 		return
 	}
@@ -699,14 +699,14 @@ func (e *Engine) handleRightPathMiss(line uint64, slotsIssued int) {
 	gate := now
 	switch e.cfg.Policy {
 	case Pessimistic:
-		if g := e.lastIssueCy + int64(e.cfg.DecodeLatency); g > gate {
+		if g := e.lastIssueCy + Cycles(e.cfg.DecodeLatency); g > gate {
 			gate = g
 		}
 		if n := len(e.condSlots); n > 0 && e.condSlots[n-1] > gate {
 			gate = e.condSlots[n-1]
 		}
 	case Decode:
-		if g := e.lastIssueCy + int64(e.cfg.DecodeLatency); g > gate {
+		if g := e.lastIssueCy + Cycles(e.cfg.DecodeLatency); g > gate {
 			gate = g
 		}
 	case Oracle, Optimistic, Resume:
@@ -769,8 +769,8 @@ func (e *Engine) handleBranch(in instInfo, slotsIssued int) bool {
 	e.res.Branches++
 	now := e.cy
 	fallThrough := in.pc.Next()
-	decodeAt := now + int64(e.cfg.DecodeLatency)
-	resolveAt := now + 1 + int64(e.cfg.ResolveLatency)
+	decodeAt := now + Cycles(e.cfg.DecodeLatency)
+	resolveAt := now + 1 + Cycles(e.cfg.ResolveLatency)
 
 	predTarget, btbHit := e.pred.PredictTarget(in.pc)
 
@@ -799,13 +799,13 @@ func (e *Engine) handleBranch(in instInfo, slotsIssued int) bool {
 			// Right direction, no target: misfetch. Fall-through is fetched
 			// until decode computes the target.
 			e.runWindow(slotsIssued, evBTBMisfetch, []wpPhase{
-				{start: fallThrough, until: now + 1 + int64(e.cfg.DecodeLatency), misfetch: true},
+				{start: fallThrough, until: now + 1 + Cycles(e.cfg.DecodeLatency), misfetch: true},
 			}, in.target)
 			return true
 		case predTaken && !in.taken && btbHit:
 			// Wrong direction: fetch runs down the taken target until resolve.
 			e.runWindow(slotsIssued, evPHTMispredict, []wpPhase{
-				{start: predTarget, until: now + 1 + int64(e.cfg.ResolveLatency)},
+				{start: predTarget, until: now + 1 + Cycles(e.cfg.ResolveLatency)},
 			}, fallThrough)
 			return true
 		case predTaken && !in.taken && !btbHit:
@@ -813,14 +813,14 @@ func (e *Engine) handleBranch(in instInfo, slotsIssued int) bool {
 			// computes the target, then down the (wrong) taken path until
 			// resolve.
 			e.runWindow(slotsIssued, evPHTMispredict, []wpPhase{
-				{start: fallThrough, until: now + 1 + int64(e.cfg.DecodeLatency), misfetch: true},
-				{start: staticTarget, until: now + 1 + int64(e.cfg.ResolveLatency)},
+				{start: fallThrough, until: now + 1 + Cycles(e.cfg.DecodeLatency), misfetch: true},
+				{start: staticTarget, until: now + 1 + Cycles(e.cfg.ResolveLatency)},
 			}, fallThrough)
 			return true
 		default:
 			// Predicted fall-through, actually taken: classic mispredict.
 			e.runWindow(slotsIssued, evPHTMispredict, []wpPhase{
-				{start: fallThrough, until: now + 1 + int64(e.cfg.ResolveLatency)},
+				{start: fallThrough, until: now + 1 + Cycles(e.cfg.ResolveLatency)},
 			}, in.target)
 			return true
 		}
@@ -857,13 +857,13 @@ func (e *Engine) handleBranch(in instInfo, slotsIssued int) bool {
 		case btbHit:
 			// Stale target: fetch runs down the old target until resolve.
 			e.runWindow(slotsIssued, evBTBMispredict, []wpPhase{
-				{start: predTarget, until: now + 1 + int64(e.cfg.ResolveLatency)},
+				{start: predTarget, until: now + 1 + Cycles(e.cfg.ResolveLatency)},
 			}, in.target)
 			return true
 		default:
 			// Not identified as a branch: sequential fetch until decode.
 			e.runWindow(slotsIssued, evBTBMisfetch, []wpPhase{
-				{start: fallThrough, until: now + 1 + int64(e.cfg.DecodeLatency), misfetch: true},
+				{start: fallThrough, until: now + 1 + Cycles(e.cfg.DecodeLatency), misfetch: true},
 			}, in.target)
 			return true
 		}
@@ -881,7 +881,7 @@ func (e *Engine) handleBranch(in instInfo, slotsIssued int) bool {
 		return false
 	}
 	e.runWindow(slotsIssued, evBTBMisfetch, []wpPhase{
-		{start: fallThrough, until: now + 1 + int64(e.cfg.DecodeLatency), misfetch: true},
+		{start: fallThrough, until: now + 1 + Cycles(e.cfg.DecodeLatency), misfetch: true},
 	}, in.target)
 	return true
 }

@@ -27,15 +27,15 @@ func TestSmokeAllPolicies(t *testing.T) {
 			if res.Insts < insts {
 				t.Errorf("%v: issued %d insts, want >= %d", pol, res.Insts, insts)
 			}
-			if res.Cycles <= res.Insts/int64(cfg.FetchWidth) {
+			if res.Cycles <= Cycles(res.Insts/int64(cfg.FetchWidth)) {
 				t.Errorf("%v: cycles %d below ideal minimum %d", pol, res.Cycles, res.Insts/4)
 			}
 			// Slot conservation: total slots = useful + lost, up to the
 			// final cycle's unaccounted remainder when the budget ends a
 			// group early.
-			total := res.Cycles * int64(cfg.FetchWidth)
-			got := res.Insts + res.Lost.Total()
-			if diff := total - got; diff < 0 || diff >= int64(cfg.FetchWidth) {
+			total := res.Cycles.Slots(cfg.FetchWidth)
+			got := Slots(res.Insts) + res.Lost.Total()
+			if diff := total - got; diff < 0 || diff >= Slots(cfg.FetchWidth) {
 				t.Errorf("%v pref=%v: slot conservation broken: insts+lost=%d, cycles*width=%d (diff %d)",
 					pol, pref, got, total, diff)
 			}

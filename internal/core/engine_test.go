@@ -69,13 +69,13 @@ func TestStraightLineTiming(t *testing.T) {
 		t.Fatalf("insts = %d, want %d", got, want)
 	}
 	// Per line: 5 stall cycles + 2 issue cycles.
-	if got, want := res.Cycles, int64(lines*7); got != want {
+	if got, want := res.Cycles, Cycles(lines*7); got != want {
 		t.Errorf("cycles = %d, want %d", got, want)
 	}
 	if got, want := res.RightPathMisses, int64(lines); got != want {
 		t.Errorf("right-path misses = %d, want %d", got, want)
 	}
-	if got, want := res.Lost[metrics.RTICache], int64(lines*5*4); got != want {
+	if got, want := res.Lost[metrics.RTICache], Slots(lines*5*4); got != want {
 		t.Errorf("rt_icache slots = %d, want %d", got, want)
 	}
 	for _, c := range []metrics.Component{metrics.Branch, metrics.BranchFull,
@@ -102,10 +102,10 @@ func TestPessimisticForceResolve(t *testing.T) {
 		// The first miss at cycle 0 has no prior instructions (no gate).
 		// Every subsequent line: previous group issued at cy-1, gate is
 		// cy+1, so exactly one force_resolve cycle per line.
-		if got, want := res.Lost[metrics.ForceResolve], int64((lines-1)*4); got != want {
+		if got, want := res.Lost[metrics.ForceResolve], Slots((lines-1)*4); got != want {
 			t.Errorf("%s: force_resolve slots = %d, want %d", pol, got, want)
 		}
-		if got, want := res.Cycles, int64(lines*7+(lines-1)); got != want {
+		if got, want := res.Cycles, Cycles(lines*7+(lines-1)); got != want {
 			t.Errorf("%s: cycles = %d, want %d", pol, got, want)
 		}
 	}
@@ -135,7 +135,7 @@ func TestLoopMisfetchThenBTBHit(t *testing.T) {
 	if got, want := res.Events.BTBMisfetches, int64(1); got != want {
 		t.Errorf("misfetches = %d, want %d (first occurrence only)", got, want)
 	}
-	if got, want := res.Events.BTBMisfetchSlots, int64(8); got != want {
+	if got, want := res.Events.BTBMisfetchSlots, Slots(8); got != want {
 		t.Errorf("misfetch slots = %d, want %d", got, want)
 	}
 	if res.Events.PHTMispredicts != 0 {
@@ -144,10 +144,10 @@ func TestLoopMisfetchThenBTBHit(t *testing.T) {
 	}
 	// Cold miss (5 cycles) + 2 issue cycles for iteration 1, then the
 	// 2-cycle misfetch window, then 2 cycles per remaining iteration.
-	if got, want := res.Cycles, int64(5+2+2+2*(iters-1)); got != want {
+	if got, want := res.Cycles, Cycles(5+2+2+2*(iters-1)); got != want {
 		t.Errorf("cycles = %d, want %d", got, want)
 	}
-	if got, want := res.Lost[metrics.Branch], int64(8); got != want {
+	if got, want := res.Lost[metrics.Branch], Slots(8); got != want {
 		t.Errorf("branch slots = %d, want %d", got, want)
 	}
 }
@@ -179,7 +179,7 @@ func TestMispredictPenalty(t *testing.T) {
 	}
 	// The branch issues at slot 3 of its cycle, so the event costs the
 	// remaining 0 slots of that cycle plus 4 full dead cycles = 16 slots.
-	if got, want := res.Events.PHTMispredictSlots, int64(16); got != want {
+	if got, want := res.Events.PHTMispredictSlots, Slots(16); got != want {
 		t.Errorf("mispredict slots = %d, want %d", got, want)
 	}
 	if res.Events.BTBMisfetches != 0 {
@@ -264,7 +264,7 @@ func TestOptimisticWrongICacheOverhang(t *testing.T) {
 	// Timeline: cold miss cycles 0-4; issue cycles 5,6; misfetch window
 	// cycles 7,8 with the wrong-path miss on line 1 at cycle 7 starting a
 	// fill that completes at cycle 12; redirect waits 9..11.
-	if got, want := res.Lost[metrics.WrongICache], int64(3*4); got != want {
+	if got, want := res.Lost[metrics.WrongICache], Slots(3*4); got != want {
 		t.Errorf("wrong_icache slots = %d, want %d", got, want)
 	}
 	if got, want := res.Traffic.WrongPathFills, uint64(1); got != want {
@@ -480,7 +480,7 @@ func TestIndirectBTBTargetMispredict(t *testing.T) {
 	if got, want := res2.Events.BTBMispredicts, int64(1); got != want {
 		t.Errorf("BTB mispredicts = %d, want %d", got, want)
 	}
-	if got, want := res2.Events.BTBMispredictSlots, int64(16); got != want {
+	if got, want := res2.Events.BTBMispredictSlots, Slots(16); got != want {
 		t.Errorf("BTB mispredict slots = %d, want %d", got, want)
 	}
 }

@@ -202,9 +202,9 @@ func TestExtensionsPreserveInvariants(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", pol, err)
 		}
-		total := res.Cycles * int64(cfg.FetchWidth)
-		got := res.Insts + res.Lost.Total()
-		if diff := total - got; diff < 0 || diff >= int64(cfg.FetchWidth) {
+		total := res.Cycles.Slots(cfg.FetchWidth)
+		got := Slots(res.Insts) + res.Lost.Total()
+		if diff := total - got; diff < 0 || diff >= Slots(cfg.FetchWidth) {
 			t.Errorf("%v: slot conservation broken (diff %d)", pol, diff)
 		}
 		// Note: the bus component may be non-zero even with pipelined

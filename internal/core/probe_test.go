@@ -30,28 +30,28 @@ type countingProbe struct {
 	samples      []obs.Snapshot
 }
 
-func (p *countingProbe) FetchCycle(cy int64, issued int) { p.issued += int64(issued) }
-func (p *countingProbe) MissStart(cy int64, line uint64, wrongPath bool) {
+func (p *countingProbe) FetchCycle(cy Cycles, issued int) { p.issued += int64(issued) }
+func (p *countingProbe) MissStart(cy Cycles, line uint64, wrongPath bool) {
 	if wrongPath {
 		p.wpMissStarts++
 	} else {
 		p.missStarts++
 	}
 }
-func (p *countingProbe) FillComplete(cy int64, line uint64, kind obs.FillKind) { p.fills[kind]++ }
-func (p *countingProbe) BusAcquire(cy int64, line uint64, kind obs.FillKind)   { p.busAcquires++ }
-func (p *countingProbe) BusRelease(cy int64)                                   { p.busReleases++ }
-func (p *countingProbe) BranchResolve(cy int64, pc uint64, taken, mispredicted bool) {
+func (p *countingProbe) FillComplete(cy Cycles, line uint64, kind obs.FillKind) { p.fills[kind]++ }
+func (p *countingProbe) BusAcquire(cy Cycles, line uint64, kind obs.FillKind)   { p.busAcquires++ }
+func (p *countingProbe) BusRelease(cy Cycles)                                   { p.busReleases++ }
+func (p *countingProbe) BranchResolve(cy Cycles, pc uint64, taken, mispredicted bool) {
 	p.resolves++
 	if mispredicted {
 		p.mispredicts++
 	}
 }
-func (p *countingProbe) Redirect(cy int64, kind obs.RedirectKind, resumePC uint64) { p.redirects++ }
-func (p *countingProbe) Prefetch(cy int64, line uint64, doneAt int64)              { p.prefetches++ }
-func (p *countingProbe) WindowStart(cy int64, kind obs.RedirectKind, until int64)  { p.windowStarts++ }
-func (p *countingProbe) WindowEnd(cy int64)                                        { p.windowEnds++ }
-func (p *countingProbe) Stall(cy, until int64, comp metrics.Component, slots int64) {
+func (p *countingProbe) Redirect(cy Cycles, kind obs.RedirectKind, resumePC uint64) { p.redirects++ }
+func (p *countingProbe) Prefetch(cy Cycles, line uint64, doneAt Cycles)             { p.prefetches++ }
+func (p *countingProbe) WindowStart(cy Cycles, kind obs.RedirectKind, until Cycles) { p.windowStarts++ }
+func (p *countingProbe) WindowEnd(cy Cycles)                                        { p.windowEnds++ }
+func (p *countingProbe) Stall(cy, until Cycles, comp metrics.Component, slots Slots) {
 	if until <= cy {
 		panic("empty stall segment")
 	}

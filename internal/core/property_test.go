@@ -66,9 +66,9 @@ func TestEngineInvariantsUnderRandomConfigs(t *testing.T) {
 			t.Fatalf("trial %d (%+v): %v", i, cfg, err)
 		}
 
-		total := res.Cycles * int64(cfg.FetchWidth)
-		got := res.Insts + res.Lost.Total()
-		if diff := total - got; diff < 0 || diff >= int64(cfg.FetchWidth) {
+		total := res.Cycles.Slots(cfg.FetchWidth)
+		got := Slots(res.Insts) + res.Lost.Total()
+		if diff := total - got; diff < 0 || diff >= Slots(cfg.FetchWidth) {
 			t.Errorf("trial %d: slot conservation broken (diff %d)\ncfg %+v", i, diff, cfg)
 		}
 		switch cfg.Policy {

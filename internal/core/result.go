@@ -16,7 +16,7 @@ type Result struct {
 	// Insts is the number of correct-path instructions issued.
 	Insts int64
 	// Cycles is the total simulated cycle count.
-	Cycles int64
+	Cycles Cycles
 
 	// Lost is the per-component breakdown of lost issue slots.
 	Lost metrics.Breakdown
@@ -73,28 +73,19 @@ func (r Result) WrongPathMissPct() float64 {
 // PHTMispredictISPI returns issue slots lost to conditional-direction
 // mispredicts per instruction (Table 3, "PHT Mispredict ISPI").
 func (r Result) PHTMispredictISPI() float64 {
-	if r.Insts == 0 {
-		return 0
-	}
-	return float64(r.Events.PHTMispredictSlots) / float64(r.Insts)
+	return r.Events.PHTMispredictSlots.PerInst(r.Insts)
 }
 
 // BTBMisfetchISPI returns issue slots lost to misfetches per instruction
 // (Table 3, "BTB Misfetch ISPI").
 func (r Result) BTBMisfetchISPI() float64 {
-	if r.Insts == 0 {
-		return 0
-	}
-	return float64(r.Events.BTBMisfetchSlots) / float64(r.Insts)
+	return r.Events.BTBMisfetchSlots.PerInst(r.Insts)
 }
 
 // BTBMispredictISPI returns issue slots lost to stale BTB targets per
 // instruction (Table 3, "BTB Mispredict ISPI").
 func (r Result) BTBMispredictISPI() float64 {
-	if r.Insts == 0 {
-		return 0
-	}
-	return float64(r.Events.BTBMispredictSlots) / float64(r.Insts)
+	return r.Events.BTBMispredictSlots.PerInst(r.Insts)
 }
 
 // AuditFinal restates the counters obs.AuditProbe.Verify cross-checks, so

@@ -1,0 +1,15 @@
+package core
+
+import "specfetch/internal/metrics"
+
+// Cycles and Slots are the engine's two time-like dimensions, aliased from
+// internal/metrics so that every layer (core, obs, cache, experiments) names
+// the same defined types without an import cycle: obs must not import core,
+// and metrics is the one package all of them already share. See
+// metrics.Cycles / metrics.Slots for the unit contract and the conversion
+// helpers (Cycles.Slots(width), Slots.Cycles(width), Int64), and the simlint
+// `unitcheck` analyzer for the rules the compiler cannot enforce.
+type (
+	Cycles = metrics.Cycles
+	Slots  = metrics.Slots
+)

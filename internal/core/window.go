@@ -15,17 +15,17 @@ import (
 // decode, which is what lets the Decode policy refuse their misses.
 type wpPhase struct {
 	start    isa.Addr
-	until    int64
+	until    Cycles
 	misfetch bool
 }
 
 // wpState is the wrong-path fetch unit state within one window.
 type wpState struct {
 	wpc           isa.Addr
-	stalled       bool  // fetch cannot proceed for the rest of the phase
-	bubbleUntil   int64 // decode bubble from a wrong-path misfetch
-	fillWaitUntil int64 // wrong-path fetch waiting on a fill (Resume / pending)
-	blockUntil    int64 // blocking-cache fill outstanding (also blocks correct path)
+	stalled       bool   // fetch cannot proceed for the rest of the phase
+	bubbleUntil   Cycles // decode bubble from a wrong-path misfetch
+	fillWaitUntil Cycles // wrong-path fetch waiting on a fill (Resume / pending)
+	blockUntil    Cycles // blocking-cache fill outstanding (also blocks correct path)
 	lastLine      uint64
 	haveLastLine  bool
 }
@@ -38,14 +38,14 @@ type wpState struct {
 // (charged to `wrong_icache`). On return, e.cy is the cycle at which
 // correct-path fetch resumes.
 func (e *Engine) runWindow(slotsIssued int, ev eventClass, phases []wpPhase, resumePC isa.Addr) {
-	width := int64(e.cfg.FetchWidth)
+	width := Slots(e.cfg.FetchWidth)
 	windowEnd := phases[len(phases)-1].until
 
 	if e.probe != nil {
 		e.probe.WindowStart(e.cy, ev.redirectKind(), windowEnd)
 	}
 
-	branchSlots := width - int64(slotsIssued)
+	branchSlots := width - Slots(slotsIssued)
 	e.res.Lost.Add(metrics.Branch, branchSlots)
 
 	// A prefetch armed earlier in the branch's own cycle still issues.
@@ -92,9 +92,10 @@ func (e *Engine) runWindow(slotsIssued int, ev eventClass, phases []wpPhase, res
 		// Blocking fill initiated on the wrong path is still outstanding
 		// when the machine learns the correct path: Optimistic (and Decode
 		// after its gate) pay here.
-		e.res.Lost.Add(metrics.WrongICache, width*(st.blockUntil-resumeAt))
+		overrun := (st.blockUntil - resumeAt).Slots(e.cfg.FetchWidth)
+		e.res.Lost.Add(metrics.WrongICache, overrun)
 		if e.probe != nil {
-			e.probe.Stall(resumeAt, st.blockUntil, metrics.WrongICache, width*(st.blockUntil-resumeAt))
+			e.probe.Stall(resumeAt, st.blockUntil, metrics.WrongICache, overrun)
 		}
 		resumeAt = st.blockUntil
 	}
@@ -130,7 +131,7 @@ func (e *Engine) runWindow(slotsIssued int, ev eventClass, phases []wpPhase, res
 
 // wrongPathFetchCycle fetches up to one issue group down the wrong path at
 // cycle wc, touching the I-cache and applying the miss policy.
-func (e *Engine) wrongPathFetchCycle(wc int64, ph wpPhase, st *wpState) {
+func (e *Engine) wrongPathFetchCycle(wc Cycles, ph wpPhase, st *wpState) {
 	width := e.cfg.FetchWidth
 	var groupLine uint64
 	groupLineValid := false
@@ -195,8 +196,8 @@ func (e *Engine) wrongPathFetchCycle(wc int64, ph wpPhase, st *wpState) {
 
 // wrongPathNext decides where wrong-path fetch goes after the instruction
 // at pc, using the live predictor exactly as the front end would.
-func (e *Engine) wrongPathNext(pc isa.Addr, in program.Inst, wc int64, st *wpState) (isa.Addr, bool) {
-	decodeAt := wc + int64(e.cfg.DecodeLatency)
+func (e *Engine) wrongPathNext(pc isa.Addr, in program.Inst, wc Cycles, st *wpState) (isa.Addr, bool) {
+	decodeAt := wc + Cycles(e.cfg.DecodeLatency)
 	switch {
 	case in.Kind == isa.Plain:
 		return pc.Next(), true
@@ -216,7 +217,7 @@ func (e *Engine) wrongPathNext(pc isa.Addr, in program.Inst, wc int64, st *wpSta
 		}
 		// Predicted taken without a target: decode bubble, then the
 		// computed target.
-		st.bubbleUntil = wc + 1 + int64(e.cfg.DecodeLatency)
+		st.bubbleUntil = wc + 1 + Cycles(e.cfg.DecodeLatency)
 		return in.Target, true
 
 	case in.Kind == isa.Jump || in.Kind == isa.Call:
@@ -231,7 +232,7 @@ func (e *Engine) wrongPathNext(pc isa.Addr, in program.Inst, wc int64, st *wpSta
 		if t, hit := e.pred.PredictTarget(pc); hit {
 			return t, true
 		}
-		st.bubbleUntil = wc + 1 + int64(e.cfg.DecodeLatency)
+		st.bubbleUntil = wc + 1 + Cycles(e.cfg.DecodeLatency)
 		return in.Target, true
 
 	default:
@@ -256,7 +257,7 @@ func (e *Engine) wrongPathNext(pc isa.Addr, in program.Inst, wc int64, st *wpSta
 
 // handleWrongPathMiss applies the configured policy to an I-cache miss on
 // the wrong path at cycle wc.
-func (e *Engine) handleWrongPathMiss(line uint64, wc int64, misfetchPhase bool, st *wpState) {
+func (e *Engine) handleWrongPathMiss(line uint64, wc Cycles, misfetchPhase bool, st *wpState) {
 	if e.probe != nil {
 		e.probe.MissStart(wc, line, true)
 	}
@@ -275,7 +276,7 @@ func (e *Engine) handleWrongPathMiss(line uint64, wc int64, misfetchPhase bool, 
 		}
 		// Direction mispredicts pass the decode gate: fill after the
 		// previous instructions decode, blocking like Optimistic.
-		gate := wc - 1 + int64(e.cfg.DecodeLatency)
+		gate := wc - 1 + Cycles(e.cfg.DecodeLatency)
 		if gate < wc {
 			gate = wc
 		}

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"specfetch/internal/core"
 	"specfetch/internal/obs"
 	"specfetch/internal/sweeplog"
 )
@@ -24,8 +25,8 @@ import (
 func fakeResult(spec JobSpec) JobResult {
 	res := fixtureBatchResult().Results[0].Result
 	res.Insts = spec.Insts
-	res.Cycles = int64(spec.Seed) + spec.Insts
-	res.Lost[0] = int64(spec.Seed)
+	res.Cycles = core.Cycles(int64(spec.Seed) + spec.Insts)
+	res.Lost[0] = core.Slots(spec.Seed)
 	return JobResult{Result: res, Audit: res.AuditFinal()}
 }
 

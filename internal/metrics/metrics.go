@@ -54,14 +54,14 @@ func Components() []Component {
 }
 
 // Breakdown accumulates lost issue slots per component.
-type Breakdown [NumComponents]int64
+type Breakdown [NumComponents]Slots
 
 // Add charges n lost slots to component c.
-func (b *Breakdown) Add(c Component, n int64) { b[c] += n }
+func (b *Breakdown) Add(c Component, n Slots) { b[c] += n }
 
 // Total returns the slots lost across all components.
-func (b Breakdown) Total() int64 {
-	var t int64
+func (b Breakdown) Total() Slots {
+	var t Slots
 	for _, v := range b {
 		t += v
 	}
@@ -71,18 +71,12 @@ func (b Breakdown) Total() int64 {
 // ISPI converts a component's slot count to issue slots lost per
 // (correct-path) instruction.
 func (b Breakdown) ISPI(c Component, insts int64) float64 {
-	if insts == 0 {
-		return 0
-	}
-	return float64(b[c]) / float64(insts)
+	return b[c].PerInst(insts)
 }
 
 // TotalISPI returns the total penalty ISPI.
 func (b Breakdown) TotalISPI(insts int64) float64 {
-	if insts == 0 {
-		return 0
-	}
-	return float64(b.Total()) / float64(insts)
+	return b.Total().PerInst(insts)
 }
 
 // AddAll accumulates another breakdown into b.
@@ -99,18 +93,18 @@ type BranchEvents struct {
 	// wrong (4-cycle redirect).
 	PHTMispredicts int64
 	// PHTMispredictSlots is the issue-slot cost charged to those events.
-	PHTMispredictSlots int64
+	PHTMispredictSlots Slots
 	// BTBMisfetches are branches whose target had to be computed at decode
 	// (2-cycle redirect): predicted-taken BTB misses and unidentified
 	// unconditional branches.
 	BTBMisfetches int64
 	// BTBMisfetchSlots is the issue-slot cost charged to those events.
-	BTBMisfetchSlots int64
+	BTBMisfetchSlots Slots
 	// BTBMispredicts are indirect transfers whose BTB target was stale
 	// (4-cycle redirect).
 	BTBMispredicts int64
 	// BTBMispredictSlots is the issue-slot cost charged to those events.
-	BTBMispredictSlots int64
+	BTBMispredictSlots Slots
 }
 
 // Traffic counts line movements between the I-cache and the next level.

@@ -43,9 +43,9 @@ func TestComponentNames(t *testing.T) {
 // totals, per-component ISPI, and AddAll merge for the full breakdown.
 func TestBreakdownAllComponents(t *testing.T) {
 	var b Breakdown
-	var want int64
+	var want Slots
 	for i, c := range Components() {
-		slots := int64((i + 1) * 10)
+		slots := Slots((i + 1) * 10)
 		b.Add(c, slots)
 		b.Add(c, 0) // zero-slot add is a no-op
 		want += slots
@@ -56,7 +56,7 @@ func TestBreakdownAllComponents(t *testing.T) {
 	const insts = 1000
 	var sum float64
 	for i, c := range Components() {
-		slots := int64((i + 1) * 10)
+		slots := Slots((i + 1) * 10)
 		if got := b.ISPI(c, insts); got != float64(slots)/insts {
 			t.Errorf("%s ISPI = %v, want %v", c, got, float64(slots)/insts)
 		}
@@ -72,11 +72,11 @@ func TestBreakdownAllComponents(t *testing.T) {
 		o.Add(c, 1)
 	}
 	b.AddAll(o)
-	if b.Total() != want+int64(NumComponents) {
-		t.Errorf("AddAll total = %d, want %d", b.Total(), want+int64(NumComponents))
+	if b.Total() != want+Slots(NumComponents) {
+		t.Errorf("AddAll total = %d, want %d", b.Total(), want+Slots(NumComponents))
 	}
 	for i, c := range Components() {
-		if got := b[c]; got != int64((i+1)*10)+1 {
+		if got := b[c]; got != Slots((i+1)*10)+1 {
 			t.Errorf("after AddAll %s = %d, want %d", c, got, (i+1)*10+1)
 		}
 	}

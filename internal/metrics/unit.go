@@ -1,0 +1,55 @@
+package metrics
+
+// Cycles and Slots are the simulator's two time-like dimensions. A cycle is
+// one tick of the simulated machine clock; a slot is one instruction-issue
+// opportunity, of which a width-W machine has exactly W per cycle. The
+// paper's central metric — ISPI, issue slots lost per instruction — is pure
+// slot arithmetic, and its lost-slot taxonomy (Tables 2–7) only means
+// something if slot counts and cycle counts are never conflated.
+//
+// Both types have int64 underlying, so untyped constants still mix freely
+// (`cy + 1`, `slots > 0`), but a Cycles value cannot meet a Slots value in
+// arithmetic without going through one of the explicit conversions below.
+// The simlint `unitcheck` analyzer enforces the rest of the contract, which
+// the compiler cannot: no direct Cycles<->Slots conversion (it would drop
+// the fetch-width factor), no silent unwrap to a raw integer type (use
+// Int64 at a declared boundary, e.g. wire encode or JSONL export), and no
+// width scaling by multiplication outside these helpers.
+
+// Cycles counts simulated machine cycles (timestamps and durations alike;
+// the engine's clock starts at 0).
+type Cycles int64
+
+// Slots counts instruction-issue slots. Slot quantities come from cycle
+// quantities only by scaling with the machine's fetch width.
+type Slots int64
+
+// Slots converts the cycle count to the issue slots it spans on a machine
+// issuing width instructions per cycle. This is the only sanctioned
+// cycles->slots crossing.
+func (c Cycles) Slots(width int) Slots { return Slots(c) * Slots(width) }
+
+// Int64 unwraps the cycle count to a raw int64 for wire formats and export
+// encodings, which stay untyped by design. Using the named method (rather
+// than a bare int64 conversion, which unitcheck rejects) marks the unit
+// boundary explicitly.
+func (c Cycles) Int64() int64 { return int64(c) }
+
+// Cycles converts the slot count to the whole cycles it fills on a machine
+// issuing width instructions per cycle, truncating any partial cycle. This
+// is the only sanctioned slots->cycles crossing.
+func (s Slots) Cycles(width int) Cycles { return Cycles(s) / Cycles(width) }
+
+// Int64 unwraps the slot count to a raw int64 for wire formats and export
+// encodings; see Cycles.Int64.
+func (s Slots) Int64() int64 { return int64(s) }
+
+// PerInst returns slots per correct-path instruction — the shape of every
+// ISPI figure. Zero instructions yield zero, matching the table builders'
+// convention for empty runs.
+func (s Slots) PerInst(insts int64) float64 {
+	if insts == 0 {
+		return 0
+	}
+	return float64(s) / float64(insts)
+}

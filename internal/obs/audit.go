@@ -16,7 +16,7 @@ import (
 // inconsistent); Verify returns one.
 type AuditError struct {
 	// Cycle is the simulation cycle the violation was detected at.
-	Cycle int64
+	Cycle metrics.Cycles
 	// Check names the violated invariant (snake_case).
 	Check string
 	// Detail is the human-readable diagnosis.
@@ -62,7 +62,7 @@ type AuditOptions struct {
 // obs must not import core.
 type AuditFinal struct {
 	Insts  int64
-	Cycles int64
+	Cycles metrics.Cycles
 	Lost   metrics.Breakdown
 	// Traffic counters by fill kind.
 	DemandFills    uint64
@@ -106,27 +106,27 @@ type AuditProbe struct {
 
 	// watermark is the latest event cycle known to be "now" (fill and bus
 	// cycles are future-dated and excluded).
-	watermark int64
+	watermark metrics.Cycles
 
-	lastFetchCy int64
+	lastFetchCy metrics.Cycles
 	issuedTotal int64
 
 	stallSlots metrics.Breakdown
 
 	inWindow      bool
-	winStart      int64
-	winUntil      int64
+	winStart      metrics.Cycles
+	winUntil      metrics.Cycles
 	winRedirected bool
 	// pendingWindows maps a window's start cycle to its nominal end: the
 	// FetchCycle event for the branch's own fetch group arrives after
 	// WindowEnd, and only then can the window's branch-component slots
 	// (width*(until-start) minus the group's issued slots) be reconstructed.
-	pendingWindows map[int64]int64
-	branchSlots    int64
+	pendingWindows map[metrics.Cycles]metrics.Cycles
+	branchSlots    metrics.Slots
 
 	busHeld       bool
-	busAcquireCy  int64
-	lastReleaseCy int64
+	busAcquireCy  metrics.Cycles
+	lastReleaseCy metrics.Cycles
 	busAcquires   uint64
 	busReleases   uint64
 
@@ -134,13 +134,13 @@ type AuditProbe struct {
 	// pendingFillDone maps a line to the completion cycle of its most recent
 	// fill; a second fill arriving before the watermark passes it means two
 	// transfers of the same line were in flight at once.
-	pendingFillDone map[uint64]int64
+	pendingFillDone map[uint64]metrics.Cycles
 
 	// openRPMiss / openWPMiss track demand misses awaiting their fill, per
 	// line. Right-path misses must be filled immediately (same handler);
 	// wrong-path misses may stay unserviced until the window squashes them.
-	openRPMiss map[uint64]int64
-	openWPMiss map[uint64]int64
+	openRPMiss map[uint64]metrics.Cycles
+	openWPMiss map[uint64]metrics.Cycles
 
 	prefetches uint64
 }
@@ -160,25 +160,25 @@ func NewAuditProbe(opt AuditOptions) *AuditProbe {
 		auditing:        true, // region 0 is always sampled
 		lastFetchCy:     -1,
 		lastReleaseCy:   -1,
-		pendingWindows:  make(map[int64]int64),
-		pendingFillDone: make(map[uint64]int64),
-		openRPMiss:      make(map[uint64]int64),
-		openWPMiss:      make(map[uint64]int64),
+		pendingWindows:  make(map[metrics.Cycles]metrics.Cycles),
+		pendingFillDone: make(map[uint64]metrics.Cycles),
+		openRPMiss:      make(map[uint64]metrics.Cycles),
+		openWPMiss:      make(map[uint64]metrics.Cycles),
 	}
 }
 
-func (a *AuditProbe) violate(cy int64, check, format string, args ...any) {
+func (a *AuditProbe) violate(cy metrics.Cycles, check, format string, args ...any) {
 	panic(&AuditError{Cycle: cy, Check: check, Detail: fmt.Sprintf(format, args...)})
 }
 
-func (a *AuditProbe) ground(cy int64) {
+func (a *AuditProbe) ground(cy metrics.Cycles) {
 	if cy > a.watermark {
 		a.watermark = cy
 	}
 }
 
 // FetchCycle implements Probe.
-func (a *AuditProbe) FetchCycle(cy int64, issued int) {
+func (a *AuditProbe) FetchCycle(cy metrics.Cycles, issued int) {
 	if a.auditing {
 		if cy <= a.lastFetchCy {
 			a.violate(cy, "fetch_cycle_order",
@@ -201,14 +201,14 @@ func (a *AuditProbe) FetchCycle(cy int64, issued int) {
 			// This group ended in a redirecting branch: all of its remaining
 			// slots, plus every slot until the nominal window end, are branch
 			// penalty.
-			a.branchSlots += int64(a.opt.Width)*(until-cy) - int64(issued)
+			a.branchSlots += (until - cy).Slots(a.opt.Width) - metrics.Slots(issued)
 			delete(a.pendingWindows, cy)
 		}
 	}
 }
 
 // MissStart implements Probe.
-func (a *AuditProbe) MissStart(cy int64, line uint64, wrongPath bool) {
+func (a *AuditProbe) MissStart(cy metrics.Cycles, line uint64, wrongPath bool) {
 	if !a.auditing {
 		// Skipped region: misses carry no accumulator, so nothing to track.
 		return
@@ -230,7 +230,7 @@ func (a *AuditProbe) MissStart(cy int64, line uint64, wrongPath bool) {
 }
 
 // FillComplete implements Probe.
-func (a *AuditProbe) FillComplete(cy int64, line uint64, kind FillKind) {
+func (a *AuditProbe) FillComplete(cy metrics.Cycles, line uint64, kind FillKind) {
 	// The kind check guards the counter array, so it stays on in skipped
 	// regions too.
 	if kind >= numFillKinds {
@@ -275,7 +275,7 @@ func (a *AuditProbe) FillComplete(cy int64, line uint64, kind FillKind) {
 }
 
 // BusAcquire implements Probe.
-func (a *AuditProbe) BusAcquire(cy int64, line uint64, kind FillKind) {
+func (a *AuditProbe) BusAcquire(cy metrics.Cycles, line uint64, kind FillKind) {
 	a.busAcquires++
 	// The held/acquire/release state is three cheap assignments, so it is
 	// tracked through skipped regions too: only the violation checks are
@@ -297,7 +297,7 @@ func (a *AuditProbe) BusAcquire(cy int64, line uint64, kind FillKind) {
 }
 
 // BusRelease implements Probe.
-func (a *AuditProbe) BusRelease(cy int64) {
+func (a *AuditProbe) BusRelease(cy metrics.Cycles) {
 	a.busReleases++
 	if a.auditing {
 		if !a.busHeld {
@@ -314,10 +314,10 @@ func (a *AuditProbe) BusRelease(cy int64) {
 }
 
 // BranchResolve implements Probe.
-func (a *AuditProbe) BranchResolve(cy int64, pc uint64, taken, mispredicted bool) {}
+func (a *AuditProbe) BranchResolve(cy metrics.Cycles, pc uint64, taken, mispredicted bool) {}
 
 // Redirect implements Probe.
-func (a *AuditProbe) Redirect(cy int64, kind RedirectKind, resumePC uint64) {
+func (a *AuditProbe) Redirect(cy metrics.Cycles, kind RedirectKind, resumePC uint64) {
 	if !a.inWindow {
 		a.violate(cy, "redirect", "redirect outside any misfetch/mispredict window")
 	}
@@ -329,7 +329,7 @@ func (a *AuditProbe) Redirect(cy int64, kind RedirectKind, resumePC uint64) {
 }
 
 // Prefetch implements Probe.
-func (a *AuditProbe) Prefetch(cy int64, line uint64, doneAt int64) {
+func (a *AuditProbe) Prefetch(cy metrics.Cycles, line uint64, doneAt metrics.Cycles) {
 	if doneAt <= cy {
 		a.violate(cy, "prefetch_done",
 			"prefetch of line %#x issued at cycle %d completes at cycle %d", line, cy, doneAt)
@@ -338,7 +338,7 @@ func (a *AuditProbe) Prefetch(cy int64, line uint64, doneAt int64) {
 }
 
 // WindowStart implements Probe.
-func (a *AuditProbe) WindowStart(cy int64, kind RedirectKind, until int64) {
+func (a *AuditProbe) WindowStart(cy metrics.Cycles, kind RedirectKind, until metrics.Cycles) {
 	if a.inWindow {
 		a.violate(cy, "window_nesting",
 			"window opened at cycle %d while the window from cycle %d is still open", cy, a.winStart)
@@ -355,7 +355,7 @@ func (a *AuditProbe) WindowStart(cy int64, kind RedirectKind, until int64) {
 }
 
 // WindowEnd implements Probe.
-func (a *AuditProbe) WindowEnd(cy int64) {
+func (a *AuditProbe) WindowEnd(cy metrics.Cycles) {
 	if !a.inWindow {
 		a.violate(cy, "window_pairing", "window end without a matching window start")
 	}
@@ -387,7 +387,7 @@ func (a *AuditProbe) WindowEnd(cy int64) {
 }
 
 // Stall implements Probe.
-func (a *AuditProbe) Stall(cy, until int64, comp metrics.Component, slots int64) {
+func (a *AuditProbe) Stall(cy, until metrics.Cycles, comp metrics.Component, slots metrics.Slots) {
 	if comp >= metrics.NumComponents {
 		a.violate(cy, "stall_component", "stall charged to unknown component %d", int(comp))
 	}
@@ -398,10 +398,10 @@ func (a *AuditProbe) Stall(cy, until int64, comp metrics.Component, slots int64)
 	if until <= cy {
 		a.violate(cy, "stall_extent", "stall run [%d,%d) is empty", cy, until)
 	}
-	if slots <= 0 || slots > int64(a.opt.Width)*(until-cy) {
+	if slots <= 0 || slots > (until-cy).Slots(a.opt.Width) {
 		a.violate(cy, "stall_extent",
 			"stall run [%d,%d) charges %d slots on a %d-wide machine (max %d)",
-			cy, until, slots, a.opt.Width, int64(a.opt.Width)*(until-cy))
+			cy, until, slots, a.opt.Width, (until - cy).Slots(a.opt.Width))
 	}
 	a.stallSlots[comp] += slots
 }
@@ -442,10 +442,12 @@ func (a *AuditProbe) Verify(f AuditFinal) error {
 				a.stallSlots[c], c, f.Lost[c])
 		}
 	}
-	width := int64(a.opt.Width)
-	if slack := f.Cycles*width - (f.Insts + f.Lost.Total()); slack < 0 || slack >= width {
+	width := a.opt.Width
+	totalSlots := f.Cycles.Slots(width)
+	usedSlots := metrics.Slots(f.Insts) + f.Lost.Total()
+	if slack := totalSlots - usedSlots; slack < 0 || slack >= metrics.Slots(width) {
 		flunk("slot conservation broken: %d cycles x width %d = %d slots, but issued+lost = %d (slack %d)",
-			f.Cycles, width, f.Cycles*width, f.Insts+f.Lost.Total(), slack)
+			f.Cycles, width, totalSlots, usedSlots, slack)
 	}
 
 	if a.busAcquires != a.busReleases {

@@ -9,7 +9,7 @@ import (
 
 // closeWindow drives one complete, legal speculation window starting at cy
 // (nominal end cy+3), advancing the auditor's sampling epoch.
-func closeWindow(a *AuditProbe, cy int64) {
+func closeWindow(a *AuditProbe, cy metrics.Cycles) {
 	a.WindowStart(cy, RedirectPHTMispredict, cy+3)
 	a.Redirect(cy+3, RedirectPHTMispredict, 0x100)
 	a.WindowEnd(cy + 3)

@@ -49,25 +49,25 @@ type IntervalSampler struct {
 	// a run-end sample that adds no instructions (only trailing stall
 	// cycles) can be merged into the last point instead of dropped.
 	base            Snapshot
-	baseBusBusy     int64
+	baseBusBusy     metrics.Cycles
 	prevBase        Snapshot
-	prevBaseBusBusy int64
+	prevBaseBusBusy metrics.Cycles
 
-	busBusy     int64 // cumulative bus-occupied cycles
-	lastAcquire int64 // start cycle of the in-flight transfer
+	busBusy     metrics.Cycles // cumulative bus-occupied cycles
+	lastAcquire metrics.Cycles // start cycle of the in-flight transfer
 }
 
 // NewIntervalSampler builds an empty sampler.
 func NewIntervalSampler() *IntervalSampler { return &IntervalSampler{} }
 
 // BusAcquire tracks the start of a transfer for occupancy accounting.
-func (s *IntervalSampler) BusAcquire(cy int64, line uint64, kind FillKind) {
+func (s *IntervalSampler) BusAcquire(cy metrics.Cycles, line uint64, kind FillKind) {
 	s.lastAcquire = cy
 }
 
 // BusRelease accumulates the completed transfer's occupancy. The engine
 // emits acquire/release pairs adjacently, so pairing by order is exact.
-func (s *IntervalSampler) BusRelease(cy int64) {
+func (s *IntervalSampler) BusRelease(cy metrics.Cycles) {
 	s.busBusy += cy - s.lastAcquire
 }
 
@@ -89,12 +89,12 @@ func (s *IntervalSampler) Sample(snap Snapshot) {
 }
 
 // point builds the series point for the interval from..snap.
-func (s *IntervalSampler) point(from Snapshot, fromBusBusy int64, snap Snapshot) SeriesPoint {
+func (s *IntervalSampler) point(from Snapshot, fromBusBusy metrics.Cycles, snap Snapshot) SeriesPoint {
 	dInsts := snap.Insts - from.Insts
 	dCycles := snap.Cycle - from.Cycle
 
-	p := SeriesPoint{Insts: snap.Insts, Cycle: snap.Cycle}
-	var lost int64
+	p := SeriesPoint{Insts: snap.Insts, Cycle: snap.Cycle.Int64()}
+	var lost metrics.Slots
 	for i := range p.CompISPI {
 		d := snap.Lost[i] - from.Lost[i]
 		lost += d

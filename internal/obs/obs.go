@@ -85,62 +85,62 @@ func (k RedirectKind) String() string {
 type Probe interface {
 	// FetchCycle fires once per correct-path fetch group with the cycle it
 	// started in and how many instructions issued in it (0..width).
-	FetchCycle(cy int64, issued int)
+	FetchCycle(cy metrics.Cycles, issued int)
 	// MissStart fires when a demand lookup misses the I-cache, on either
 	// the correct path (wrongPath=false) or a speculative one.
-	MissStart(cy int64, line uint64, wrongPath bool)
+	MissStart(cy metrics.Cycles, line uint64, wrongPath bool)
 	// FillComplete fires when a line fill is scheduled, with the cycle the
 	// line becomes available.
-	FillComplete(cy int64, line uint64, kind FillKind)
+	FillComplete(cy metrics.Cycles, line uint64, kind FillKind)
 	// BusAcquire fires when a transfer occupies the single memory channel,
 	// with the cycle the transfer starts.
-	BusAcquire(cy int64, line uint64, kind FillKind)
+	BusAcquire(cy metrics.Cycles, line uint64, kind FillKind)
 	// BusRelease fires with the completion cycle of the transfer reported
 	// by the immediately preceding BusAcquire.
-	BusRelease(cy int64)
+	BusRelease(cy metrics.Cycles)
 	// BranchResolve fires when a conditional or indirect correct-path
 	// branch is scheduled to resolve.
-	BranchResolve(cy int64, pc uint64, taken, mispredicted bool)
+	BranchResolve(cy metrics.Cycles, pc uint64, taken, mispredicted bool)
 	// Redirect fires when the front end redirects back to the correct path
 	// after a misfetch/mispredict window.
-	Redirect(cy int64, kind RedirectKind, resumePC uint64)
+	Redirect(cy metrics.Cycles, kind RedirectKind, resumePC uint64)
 	// Prefetch fires when a prefetch transfer is issued, with its
 	// completion cycle.
-	Prefetch(cy int64, line uint64, doneAt int64)
+	Prefetch(cy metrics.Cycles, line uint64, doneAt metrics.Cycles)
 	// WindowStart fires when a misfetch/mispredict window opens at the
 	// branch's fetch cycle; until is the nominal redirect cycle.
-	WindowStart(cy int64, kind RedirectKind, until int64)
+	WindowStart(cy metrics.Cycles, kind RedirectKind, until metrics.Cycles)
 	// WindowEnd fires with the cycle correct-path fetch actually resumes
 	// (past `until` when a blocking wrong-path fill is outstanding).
-	WindowEnd(cy int64)
+	WindowEnd(cy metrics.Cycles)
 	// Stall fires for each contiguous run of dead correct-path cycles
 	// [cy, until) charged to a single penalty component, with the issue
 	// slots lost in the run.
-	Stall(cy, until int64, comp metrics.Component, slots int64)
+	Stall(cy, until metrics.Cycles, comp metrics.Component, slots metrics.Slots)
 }
 
 // NopProbe implements every Probe callback as a no-op; embed it to override
 // only the callbacks a collector cares about.
 type NopProbe struct{}
 
-func (NopProbe) FetchCycle(int64, int)                        {}
-func (NopProbe) MissStart(int64, uint64, bool)                {}
-func (NopProbe) FillComplete(int64, uint64, FillKind)         {}
-func (NopProbe) BusAcquire(int64, uint64, FillKind)           {}
-func (NopProbe) BusRelease(int64)                             {}
-func (NopProbe) BranchResolve(int64, uint64, bool, bool)      {}
-func (NopProbe) Redirect(int64, RedirectKind, uint64)         {}
-func (NopProbe) Prefetch(int64, uint64, int64)                {}
-func (NopProbe) WindowStart(int64, RedirectKind, int64)       {}
-func (NopProbe) WindowEnd(int64)                              {}
-func (NopProbe) Stall(int64, int64, metrics.Component, int64) {}
+func (NopProbe) FetchCycle(metrics.Cycles, int)                                         {}
+func (NopProbe) MissStart(metrics.Cycles, uint64, bool)                                 {}
+func (NopProbe) FillComplete(metrics.Cycles, uint64, FillKind)                          {}
+func (NopProbe) BusAcquire(metrics.Cycles, uint64, FillKind)                            {}
+func (NopProbe) BusRelease(metrics.Cycles)                                              {}
+func (NopProbe) BranchResolve(metrics.Cycles, uint64, bool, bool)                       {}
+func (NopProbe) Redirect(metrics.Cycles, RedirectKind, uint64)                          {}
+func (NopProbe) Prefetch(metrics.Cycles, uint64, metrics.Cycles)                        {}
+func (NopProbe) WindowStart(metrics.Cycles, RedirectKind, metrics.Cycles)               {}
+func (NopProbe) WindowEnd(metrics.Cycles)                                               {}
+func (NopProbe) Stall(metrics.Cycles, metrics.Cycles, metrics.Component, metrics.Slots) {}
 
 // Snapshot is a point-in-time copy of the engine's cumulative counters,
 // delivered to Samplers. All fields are cumulative since run start;
 // interval collectors difference consecutive snapshots.
 type Snapshot struct {
 	// Cycle is the simulation cycle at the sample point.
-	Cycle int64
+	Cycle metrics.Cycles
 	// Insts is the number of correct-path instructions issued so far.
 	Insts int64
 	// Lost is the per-component lost-slot breakdown so far.
@@ -191,67 +191,67 @@ func Multi(ps ...Probe) Probe {
 	return m
 }
 
-func (m *multi) FetchCycle(cy int64, issued int) {
+func (m *multi) FetchCycle(cy metrics.Cycles, issued int) {
 	for _, p := range m.parts {
 		p.FetchCycle(cy, issued)
 	}
 }
 
-func (m *multi) MissStart(cy int64, line uint64, wrongPath bool) {
+func (m *multi) MissStart(cy metrics.Cycles, line uint64, wrongPath bool) {
 	for _, p := range m.parts {
 		p.MissStart(cy, line, wrongPath)
 	}
 }
 
-func (m *multi) FillComplete(cy int64, line uint64, kind FillKind) {
+func (m *multi) FillComplete(cy metrics.Cycles, line uint64, kind FillKind) {
 	for _, p := range m.parts {
 		p.FillComplete(cy, line, kind)
 	}
 }
 
-func (m *multi) BusAcquire(cy int64, line uint64, kind FillKind) {
+func (m *multi) BusAcquire(cy metrics.Cycles, line uint64, kind FillKind) {
 	for _, p := range m.parts {
 		p.BusAcquire(cy, line, kind)
 	}
 }
 
-func (m *multi) BusRelease(cy int64) {
+func (m *multi) BusRelease(cy metrics.Cycles) {
 	for _, p := range m.parts {
 		p.BusRelease(cy)
 	}
 }
 
-func (m *multi) BranchResolve(cy int64, pc uint64, taken, mispredicted bool) {
+func (m *multi) BranchResolve(cy metrics.Cycles, pc uint64, taken, mispredicted bool) {
 	for _, p := range m.parts {
 		p.BranchResolve(cy, pc, taken, mispredicted)
 	}
 }
 
-func (m *multi) Redirect(cy int64, kind RedirectKind, resumePC uint64) {
+func (m *multi) Redirect(cy metrics.Cycles, kind RedirectKind, resumePC uint64) {
 	for _, p := range m.parts {
 		p.Redirect(cy, kind, resumePC)
 	}
 }
 
-func (m *multi) Prefetch(cy int64, line uint64, doneAt int64) {
+func (m *multi) Prefetch(cy metrics.Cycles, line uint64, doneAt metrics.Cycles) {
 	for _, p := range m.parts {
 		p.Prefetch(cy, line, doneAt)
 	}
 }
 
-func (m *multi) WindowStart(cy int64, kind RedirectKind, until int64) {
+func (m *multi) WindowStart(cy metrics.Cycles, kind RedirectKind, until metrics.Cycles) {
 	for _, p := range m.parts {
 		p.WindowStart(cy, kind, until)
 	}
 }
 
-func (m *multi) WindowEnd(cy int64) {
+func (m *multi) WindowEnd(cy metrics.Cycles) {
 	for _, p := range m.parts {
 		p.WindowEnd(cy)
 	}
 }
 
-func (m *multi) Stall(cy, until int64, comp metrics.Component, slots int64) {
+func (m *multi) Stall(cy, until metrics.Cycles, comp metrics.Component, slots metrics.Slots) {
 	for _, p := range m.parts {
 		p.Stall(cy, until, comp, slots)
 	}

@@ -95,7 +95,7 @@ func TestRecorderRecordsAllCallbacks(t *testing.T) {
 
 func TestRecorderWraparound(t *testing.T) {
 	r := NewEventRecorder(4)
-	for cy := int64(0); cy < 10; cy++ {
+	for cy := metrics.Cycles(0); cy < 10; cy++ {
 		r.FetchCycle(cy, 1)
 	}
 	if got, want := r.Total(), uint64(10); got != want {

@@ -179,50 +179,50 @@ func (r *EventRecorder) record(ev Event) {
 	r.n++
 }
 
-func (r *EventRecorder) FetchCycle(cy int64, issued int) {
-	r.record(Event{Cy: cy, Type: EvFetchCycle, Issued: issued})
+func (r *EventRecorder) FetchCycle(cy metrics.Cycles, issued int) {
+	r.record(Event{Cy: cy.Int64(), Type: EvFetchCycle, Issued: issued})
 }
 
-func (r *EventRecorder) MissStart(cy int64, line uint64, wrongPath bool) {
+func (r *EventRecorder) MissStart(cy metrics.Cycles, line uint64, wrongPath bool) {
 	kind := FillDemand
 	if wrongPath {
 		kind = FillWrongPath
 	}
-	r.record(Event{Cy: cy, Type: EvMissStart, Line: line, Kind: kind.String()})
+	r.record(Event{Cy: cy.Int64(), Type: EvMissStart, Line: line, Kind: kind.String()})
 }
 
-func (r *EventRecorder) FillComplete(cy int64, line uint64, kind FillKind) {
-	r.record(Event{Cy: cy, Type: EvFillComplete, Line: line, Kind: kind.String()})
+func (r *EventRecorder) FillComplete(cy metrics.Cycles, line uint64, kind FillKind) {
+	r.record(Event{Cy: cy.Int64(), Type: EvFillComplete, Line: line, Kind: kind.String()})
 }
 
-func (r *EventRecorder) BusAcquire(cy int64, line uint64, kind FillKind) {
-	r.record(Event{Cy: cy, Type: EvBusAcquire, Line: line, Kind: kind.String()})
+func (r *EventRecorder) BusAcquire(cy metrics.Cycles, line uint64, kind FillKind) {
+	r.record(Event{Cy: cy.Int64(), Type: EvBusAcquire, Line: line, Kind: kind.String()})
 }
 
-func (r *EventRecorder) BusRelease(cy int64) {
-	r.record(Event{Cy: cy, Type: EvBusRelease})
+func (r *EventRecorder) BusRelease(cy metrics.Cycles) {
+	r.record(Event{Cy: cy.Int64(), Type: EvBusRelease})
 }
 
-func (r *EventRecorder) BranchResolve(cy int64, pc uint64, taken, mispredicted bool) {
-	r.record(Event{Cy: cy, Type: EvBranchResolve, PC: pc, Taken: taken, Mispredict: mispredicted})
+func (r *EventRecorder) BranchResolve(cy metrics.Cycles, pc uint64, taken, mispredicted bool) {
+	r.record(Event{Cy: cy.Int64(), Type: EvBranchResolve, PC: pc, Taken: taken, Mispredict: mispredicted})
 }
 
-func (r *EventRecorder) Redirect(cy int64, kind RedirectKind, resumePC uint64) {
-	r.record(Event{Cy: cy, Type: EvRedirect, PC: resumePC, Kind: kind.String()})
+func (r *EventRecorder) Redirect(cy metrics.Cycles, kind RedirectKind, resumePC uint64) {
+	r.record(Event{Cy: cy.Int64(), Type: EvRedirect, PC: resumePC, Kind: kind.String()})
 }
 
-func (r *EventRecorder) Prefetch(cy int64, line uint64, doneAt int64) {
-	r.record(Event{Cy: cy, Type: EvPrefetch, Line: line, Until: doneAt})
+func (r *EventRecorder) Prefetch(cy metrics.Cycles, line uint64, doneAt metrics.Cycles) {
+	r.record(Event{Cy: cy.Int64(), Type: EvPrefetch, Line: line, Until: doneAt.Int64()})
 }
 
-func (r *EventRecorder) WindowStart(cy int64, kind RedirectKind, until int64) {
-	r.record(Event{Cy: cy, Type: EvWindowStart, Kind: kind.String(), Until: until})
+func (r *EventRecorder) WindowStart(cy metrics.Cycles, kind RedirectKind, until metrics.Cycles) {
+	r.record(Event{Cy: cy.Int64(), Type: EvWindowStart, Kind: kind.String(), Until: until.Int64()})
 }
 
-func (r *EventRecorder) WindowEnd(cy int64) {
-	r.record(Event{Cy: cy, Type: EvWindowEnd})
+func (r *EventRecorder) WindowEnd(cy metrics.Cycles) {
+	r.record(Event{Cy: cy.Int64(), Type: EvWindowEnd})
 }
 
-func (r *EventRecorder) Stall(cy, until int64, comp metrics.Component, slots int64) {
-	r.record(Event{Cy: cy, Type: EvStall, Until: until, Comp: comp.String(), Slots: slots})
+func (r *EventRecorder) Stall(cy, until metrics.Cycles, comp metrics.Component, slots metrics.Slots) {
+	r.record(Event{Cy: cy.Int64(), Type: EvStall, Until: until.Int64(), Comp: comp.String(), Slots: slots.Int64()})
 }

@@ -51,7 +51,7 @@ func TestObservedRunMatchesResult(t *testing.T) {
 	if got, want := last.CumISPI, res.TotalISPI(); math.Abs(got-want) > 1e-9 {
 		t.Errorf("final CumISPI = %.12f, want %.12f (run TotalISPI)", got, want)
 	}
-	if last.Insts != res.Insts || last.Cycle != res.Cycles {
+	if last.Insts != res.Insts || last.Cycle != res.Cycles.Int64() {
 		t.Errorf("final point at %d insts / %d cycles, run ended at %d / %d",
 			last.Insts, last.Cycle, res.Insts, res.Cycles)
 	}

@@ -69,6 +69,15 @@ type Result = core.Result
 // CacheConfig sizes an instruction cache.
 type CacheConfig = cache.Config
 
+// Cycles counts simulated machine cycles; Slots counts instruction-issue
+// opportunities (width per cycle). They are distinct defined types so cycle
+// and slot quantities cannot be mixed without an explicit conversion — see
+// metrics.Cycles and metrics.Slots for the helpers.
+type (
+	Cycles = metrics.Cycles
+	Slots  = metrics.Slots
+)
+
 // Component labels one cause of lost issue slots (the stacking order of the
 // paper's figures).
 type Component = metrics.Component
