@@ -39,6 +39,7 @@ func main() {
 		width     = flag.Int("width", 4, "fetch width (instructions per cycle)")
 		prefetch  = flag.Bool("prefetch", false, "enable next-line prefetching")
 		seed      = flag.Uint64("seed", 1, "dynamic trace stream seed")
+		stepMode  = flag.String("stepmode", "skipahead", "engine core: skipahead (next-event, default) or reference (cycle-by-cycle); results are bit-identical")
 		list      = flag.Bool("list", false, "list benchmark profiles and exit")
 
 		eventsPath   = flag.String("events", "", "write the probe event stream as JSONL to this file")
@@ -104,6 +105,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fetchsim: %v\n", err)
 		os.Exit(1)
 	}
+	mode, err := specfetch.ParseStepMode(*stepMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fetchsim: %v\n", err)
+		os.Exit(1)
+	}
 
 	cfg := specfetch.DefaultConfig()
 	cfg.Policy = pol
@@ -112,6 +118,7 @@ func main() {
 	cfg.MaxUnresolved = *depth
 	cfg.FetchWidth = *width
 	cfg.NextLinePrefetch = *prefetch
+	cfg.StepMode = mode
 
 	// Observability: attach a recorder and/or sampler only when asked for,
 	// so the default run keeps the nil-probe fast path.

@@ -78,6 +78,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial); output is byte-identical at every setting")
 		remoteWk = flag.String("remote-workers", "", "comma-separated sweepworker base URLs (e.g. http://host:8477,http://host:8478); serializable sweeps fan out across these processes, output stays byte-identical")
 		auditSmp = flag.Int("audit-sample", 0, "attach the accounting auditor to every simulation, checking every Nth pipeline window (1 = every window)")
+		stepMode = flag.String("stepmode", "", "engine core for every cell: skipahead (next-event) or reference (cycle-by-cycle); empty defers to SPECFETCH_STEPMODE, then skipahead. Output bytes are identical either way")
 		benchOut = flag.String("bench-out", "", "write per-builder host-side performance aggregates as BENCH JSON to this file (input for perfdiff)")
 		benchLbl = flag.String("bench-label", "paperbench", "label recorded in the -bench-out report")
 		hostTr   = flag.String("host-trace", "", "write host-side spans (workers x cells, plus remote fleet tracks with -remote-workers) as a Chrome trace JSON to this file")
@@ -166,6 +167,14 @@ func main() {
 	opt := experiments.Options{
 		Insts: *insts, Metrics: reg, Spans: spans,
 		Workers: *workers, AuditSample: *auditSmp,
+	}
+	if *stepMode != "" {
+		mode, err := experiments.ParseStepMode(*stepMode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			exit(2)
+		}
+		opt.StepMode = mode
 	}
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")

@@ -13,6 +13,7 @@ package bpred
 
 import (
 	"fmt"
+	"math/bits"
 
 	"specfetch/internal/isa"
 )
@@ -135,6 +136,8 @@ type btbEntry struct {
 type BTB struct {
 	sets          [][]btbEntry
 	nsets         uint64
+	setMask       uint64
+	tagShift      uint
 	clock         uint64
 	lookups, hits uint64
 }
@@ -152,13 +155,18 @@ func NewBTB(cfg BTBConfig) (*BTB, error) {
 	for i := range sets {
 		sets[i] = make([]btbEntry, cfg.Assoc)
 	}
-	return &BTB{sets: sets, nsets: uint64(nsets)}, nil
+	return &BTB{
+		sets: sets, nsets: uint64(nsets),
+		setMask:  uint64(nsets) - 1,
+		tagShift: uint(bits.TrailingZeros64(uint64(nsets))),
+	}, nil
 }
 
-// setTag splits a branch address into set index and tag.
+// setTag splits a branch address into set index and tag. The set count is a
+// power of two (validated), so the split is mask-and-shift.
 func (b *BTB) setTag(pc isa.Addr) (uint64, uint64) {
 	word := uint64(pc) / isa.InstBytes
-	return word % b.nsets, word / b.nsets
+	return word & b.setMask, word >> b.tagShift
 }
 
 // Lookup returns the stored target for the branch at pc, if present.

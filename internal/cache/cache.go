@@ -7,6 +7,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"specfetch/internal/isa"
 	"specfetch/internal/metrics"
@@ -72,10 +73,21 @@ type way struct {
 // ICache is a set-associative instruction cache over line numbers (byte
 // address / line size). It holds no timing state; the fetch engine owns time.
 type ICache struct {
-	cfg   Config
-	sets  [][]way
-	nsets uint64
-	clock uint64
+	cfg  Config
+	sets [][]way
+	// nsets is a power of two (validated); setMask/tagShift turn the
+	// set/tag split into mask-and-shift instead of hardware divides.
+	nsets    uint64
+	setMask  uint64
+	tagShift uint
+	clock    uint64
+	// epoch is a monotone token for the array's residency state: it advances
+	// on every event that can change which lines are resident (fills,
+	// invalidations, resets) and never repeats within one cache instance.
+	// Callers that prove "lines L..L+k are all resident" may reuse that proof
+	// for as long as Epoch is unchanged. It starts at 1 so a zeroed external
+	// memo entry can never appear current.
+	epoch uint64
 	// victim is the optional fully associative victim buffer (LRU).
 	victim []victimEntry
 
@@ -102,7 +114,13 @@ func New(cfg Config) (*ICache, error) {
 	for i := range sets {
 		sets[i] = make([]way, cfg.Assoc)
 	}
-	c := &ICache{cfg: cfg, sets: sets, nsets: uint64(cfg.NumSets())}
+	nsets := uint64(cfg.NumSets())
+	c := &ICache{
+		cfg: cfg, sets: sets, nsets: nsets,
+		setMask:  nsets - 1,
+		tagShift: uint(bits.TrailingZeros64(nsets)),
+		epoch:    1,
+	}
 	if cfg.VictimLines > 0 {
 		c.victim = make([]victimEntry, 0, cfg.VictimLines)
 	}
@@ -125,7 +143,7 @@ func (c *ICache) Config() Config { return c.cfg }
 func (c *ICache) Geom() isa.LineGeom { return isa.LineGeom{LineBytes: c.cfg.LineBytes} }
 
 func (c *ICache) setTag(line uint64) (uint64, uint64) {
-	return line % c.nsets, line / c.nsets
+	return line & c.setMask, line >> c.tagShift
 }
 
 // find returns the way holding line, or nil.
@@ -207,6 +225,73 @@ func (c *ICache) Probe(line uint64) bool {
 	return c.find(line) != nil || c.victimFind(line) >= 0
 }
 
+// ProbeArray reports residency in the cache array alone — no victim-buffer
+// consultation, no LRU or counter side effects. The skip-ahead engine uses
+// it to test whether a run of consecutive fetches would all hit trivially: a
+// victim-buffer hit has side effects (the swap back into the array), so such
+// lines must go through Access instead.
+func (c *ICache) ProbeArray(line uint64) bool { return c.find(line) != nil }
+
+// WayHandle is an opaque reference to the array way holding a line. A
+// ProbeWay/TouchWay pair costs one tag lookup where ProbeArray followed by
+// Touch costs two; handles stay valid only until the next Fill, invalidation,
+// or Reset, so callers must not hold them across such calls.
+type WayHandle *way
+
+// ProbeWay is ProbeArray returning the way itself (nil when the line is not
+// in the array), for callers that will touch the line after probing it.
+func (c *ICache) ProbeWay(line uint64) WayHandle { return WayHandle(c.find(line)) }
+
+// TouchWay applies n consecutive demand hits to a previously probed way:
+// the state change n hitting Access calls would make (Accesses += n, LRU
+// clock += n, recency set to the final clock — intermediate clock values are
+// unobservable because no other access interleaves).
+func (c *ICache) TouchWay(h WayHandle, n int) {
+	if n <= 0 {
+		return
+	}
+	c.Accesses += uint64(n)
+	c.clock += uint64(n)
+	(*way)(h).lru = c.clock
+}
+
+// Epoch returns the current residency token (see the field comment).
+func (c *ICache) Epoch() uint64 { return c.epoch }
+
+// BulkHits applies n demand hits whose residency the caller has already
+// proven under the current Epoch, without resolving any way: Accesses and the
+// LRU clock advance by n and nothing else changes. The touched ways' recency
+// is deliberately left stale, which is only sound for a direct-mapped cache
+// (Assoc == 1), where victim selection never consults recency; callers on
+// associative geometries must use TouchWay/Touch instead.
+func (c *ICache) BulkHits(n int) {
+	if n <= 0 {
+		return
+	}
+	c.Accesses += uint64(n)
+	c.clock += uint64(n)
+}
+
+// Touch applies n consecutive demand hits to a line resident in the array:
+// exactly the state change n Access(line) calls would make when every one
+// hits (Accesses += n, LRU clock += n, the way's recency set to the final
+// clock — intermediate clock values are unobservable because no other access
+// interleaves). It reports false, changing nothing, when the line is not in
+// the array; the caller must then fall back to per-access simulation.
+func (c *ICache) Touch(line uint64, n int) bool {
+	w := c.find(line)
+	if w == nil {
+		return false
+	}
+	if n <= 0 {
+		return true
+	}
+	c.Accesses += uint64(n)
+	c.clock += uint64(n)
+	w.lru = c.clock
+	return true
+}
+
 // Fill installs line, evicting the set's LRU way if needed (into the victim
 // buffer when one is configured), and sets the line's first-reference bit.
 // It reports the evicted line, if any.
@@ -219,6 +304,7 @@ func (c *ICache) Fill(line uint64) (evicted uint64, hadEviction bool) {
 // fillNoCount is Fill without the fill counter (victim swaps reuse it).
 func (c *ICache) fillNoCount(line uint64) (evicted uint64, hadEviction bool) {
 	set, tag := c.setTag(line)
+	c.epoch++
 	c.clock++
 	if w := c.find(line); w != nil {
 		// Refill of a resident line (can happen when a stale buffered fill
@@ -240,7 +326,7 @@ func (c *ICache) fillNoCount(line uint64) (evicted uint64, hadEviction bool) {
 	}
 	v := &c.sets[set][victim]
 	if v.valid {
-		evicted = v.tag*c.nsets + set
+		evicted = v.tag<<c.tagShift | set
 		hadEviction = true
 		c.victimInsert(evicted)
 	}
@@ -271,6 +357,7 @@ func (c *ICache) MissRate() float64 {
 // the counters — the effect of a context switch on a physically-indexed
 // instruction cache.
 func (c *ICache) InvalidateAll() {
+	c.epoch++
 	for i := range c.sets {
 		for j := range c.sets[i] {
 			c.sets[i][j] = way{}
@@ -279,8 +366,11 @@ func (c *ICache) InvalidateAll() {
 	c.victim = c.victim[:0]
 }
 
-// Reset invalidates every line and zeroes the counters.
+// Reset invalidates every line and zeroes the counters. The residency epoch
+// is advanced, not rewound: it is a validity token, not a statistic, and must
+// never repeat within one instance.
 func (c *ICache) Reset() {
+	c.epoch++
 	for i := range c.sets {
 		for j := range c.sets[i] {
 			c.sets[i][j] = way{}

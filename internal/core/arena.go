@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+
+	"specfetch/internal/cache"
+)
+
+// errArenaBusy is returned when two engines try to borrow one arena at once.
+var errArenaBusy = errors.New("core: arena already in use by another engine")
+
+// Arena is reusable per-run engine state. A sweep runs thousands of cells,
+// and each fresh engine otherwise reallocates the same queues, line
+// buffers, and cache arrays; threading one Arena per worker goroutine
+// (Config.Arena) makes the steady-state simulation loop allocation-free
+// across cells. Reuse is behaviour-neutral: caches are Reset to the exact
+// state a fresh build would have, and queues are resliced empty, so results
+// are bit-identical with or without an arena (asserted by the differential
+// suite).
+//
+// An Arena is in-process-only state, like Config.Probe: it never crosses
+// the distsweep wire (FromConfig drops it), and it must not be shared by
+// two engines running concurrently — NewEngine fails loudly if it is.
+type Arena struct {
+	condSlots  []Cycles
+	btbQ       []btbUpdate
+	resolveQ   []resolveUpdate
+	resumeBufs []cache.LineBuffer
+	prefBufs   []cache.LineBuffer
+	wayScratch []cache.WayHandle
+
+	// plainMemo is the bulk-issue residency memo, kept across runs. Entries
+	// carry the epoch of the cache instance they were proven on, so they are
+	// only reusable while that same instance is in play (Reset advances its
+	// epoch, staling every prior entry); a rebuilt cache or a different fetch
+	// width requires a cleared table (memoIC/memoWidth track both).
+	plainMemo []plainBulkMemo
+	memoIC    *cache.ICache
+	memoWidth int
+
+	ic     *cache.ICache
+	icCfg  cache.Config
+	haveIC bool
+	l2     *cache.ICache
+	l2Cfg  cache.Config
+	haveL2 bool
+
+	// busy guards against two live engines borrowing the same arena.
+	busy bool
+}
+
+// NewArena returns an empty arena. The first run populates it; later runs
+// with compatible configurations reuse the storage.
+func NewArena() *Arena { return &Arena{} }
+
+// takeCache returns a cache for cfg, reusing (and resetting) the cached
+// instance when its geometry matches.
+func takeCache(have bool, c *cache.ICache, prev cache.Config, cfg cache.Config) (*cache.ICache, error) {
+	if have && c != nil && prev == cfg {
+		c.Reset()
+		return c, nil
+	}
+	return cache.New(cfg)
+}
+
+// acquire borrows the arena's storage into the engine. Caches whose
+// configuration changed are rebuilt (and kept for the next run). nbuf is
+// the resume/prefetch buffer file size for this run.
+func (a *Arena) acquire(e *Engine, nbuf int) error {
+	if a.busy {
+		return errArenaBusy
+	}
+	ic, err := takeCache(a.haveIC, a.ic, a.icCfg, e.cfg.ICache)
+	if err != nil {
+		return err
+	}
+	a.ic, a.icCfg, a.haveIC = ic, e.cfg.ICache, true
+	e.ic = ic
+	if e.cfg.L2 != nil {
+		l2, err := takeCache(a.haveL2, a.l2, a.l2Cfg, *e.cfg.L2)
+		if err != nil {
+			return err
+		}
+		a.l2, a.l2Cfg, a.haveL2 = l2, *e.cfg.L2, true
+		e.l2 = l2
+	}
+	e.condSlots = a.condSlots[:0]
+	e.btbQ = a.btbQ[:0]
+	e.resolveQ = a.resolveQ[:0]
+	e.wayScratch = a.wayScratch[:0]
+	e.resumeBufs = takeBufs(a.resumeBufs, nbuf)
+	e.prefBufs = takeBufs(a.prefBufs, nbuf)
+	a.busy = true
+	return nil
+}
+
+// takeMemo returns the bulk-issue residency memo for a run using cache ic at
+// the given fetch width, clearing it when either differs from the previous
+// borrowing run (entry validity is per cache instance and per width; see the
+// field comment).
+func (a *Arena) takeMemo(ic *cache.ICache, width int) []plainBulkMemo {
+	if a.plainMemo == nil {
+		a.plainMemo = make([]plainBulkMemo, 1<<plainMemoBits)
+	} else if ic != a.memoIC || width != a.memoWidth {
+		clear(a.plainMemo)
+	}
+	a.memoIC, a.memoWidth = ic, width
+	return a.plainMemo
+}
+
+// takeBufs returns n cleared line buffers, reusing prev's backing array
+// when it is large enough.
+func takeBufs(prev []cache.LineBuffer, n int) []cache.LineBuffer {
+	if cap(prev) < n {
+		return make([]cache.LineBuffer, n)
+	}
+	s := prev[:n]
+	for i := range s {
+		s[i].Clear()
+	}
+	return s
+}
+
+// release returns the (possibly grown) storage to the arena after a run.
+func (a *Arena) release(e *Engine) {
+	a.condSlots = e.condSlots[:0]
+	a.btbQ = e.btbQ[:0]
+	a.resolveQ = e.resolveQ[:0]
+	// Way handles go stale on the next run's fills; keep only the capacity.
+	a.wayScratch = e.wayScratch[:0]
+	a.resumeBufs = e.resumeBufs
+	a.prefBufs = e.prefBufs
+	a.busy = false
+}

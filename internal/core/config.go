@@ -119,6 +119,21 @@ type Config struct {
 	// (so cumulative series values close exactly on the final Result).
 	// 0 disables sampling.
 	SampleInterval int64
+
+	// StepMode selects the time-advance engine: the next-event skip-ahead
+	// core (the zero value, and the default) or the legacy cycle-by-cycle
+	// reference stepper. The two are bit-identical — same Result, same
+	// probe event stream — which the differential suite proves; keep
+	// StepReference around as the executable specification and for
+	// debugging the fast core.
+	StepMode StepMode
+
+	// Arena, when non-nil, supplies reusable per-run storage (queues, line
+	// buffers, cache arrays) so back-to-back runs allocate nothing in the
+	// steady state. In-process-only, like Probe: it never crosses the
+	// distsweep wire, and one Arena must not serve two concurrent engines.
+	// Reuse is behaviour-neutral; results are bit-identical either way.
+	Arena *Arena
 }
 
 // DefaultConfig returns the paper's baseline machine: 4-wide fetch, depth-4
@@ -163,6 +178,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative flush interval %d", c.FlushInterval)
 	case c.SampleInterval < 0:
 		return fmt.Errorf("core: negative sample interval %d", c.SampleInterval)
+	case c.StepMode < 0 || c.StepMode >= numStepModes:
+		return fmt.Errorf("core: invalid step mode %d", int(c.StepMode))
 	}
 	if c.L2 != nil {
 		if err := c.L2.Validate(); err != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 
 	"specfetch/internal/bpred"
 	"specfetch/internal/cache"
@@ -37,21 +38,35 @@ type Engine struct {
 	lastIssueCy Cycles // last cycle in which correct-path instructions issued
 
 	// condSlots holds the resolve cycles of in-flight correct-path
-	// conditional branches (FIFO; times are monotone).
+	// conditional branches (FIFO; times are monotone). condHead indexes the
+	// oldest live entry: pops advance the head instead of re-slicing, so
+	// the backing array is reused (and, once warm, never reallocated).
 	condSlots []Cycles
+	condHead  int
 	// wrongConds counts wrong-path conditionals currently occupying
 	// speculation slots; they are squashed when the window ends.
 	wrongConds int
 
-	// Delayed predictor updates, each FIFO with monotone times.
-	btbQ     []btbUpdate
-	resolveQ []resolveUpdate
+	// Delayed predictor updates, each FIFO with monotone times, with the
+	// same head-index pop discipline as condSlots.
+	btbQ        []btbUpdate
+	btbHead     int
+	resolveQ    []resolveUpdate
+	resolveHead int
+	// nextUpdAt caches the earliest pending delayed-update time (maxCycles
+	// when both queues are drained), so the per-cycle pending check is one
+	// compare instead of four loads. Enqueues lower it; applyUpdates
+	// recomputes it exactly after popping.
+	nextUpdAt Cycles
 
 	// Trace cursor.
 	cur       trace.Record
 	curIdx    int
 	haveRec   bool
 	traceDone bool
+	// trustRecs skips the per-record Validate when the reader vouches that
+	// every record it will yield already passed it (trace.PreValidated).
+	trustRecs bool
 
 	// lastInstLine tracks the line of the most recently fetched
 	// correct-path instruction, to identify structural line references.
@@ -72,6 +87,27 @@ type Engine struct {
 	// flush (FlushInterval extension).
 	nextFlushAt int64
 
+	// fastIssue gates the skip-ahead bulk plain-issue path: it requires
+	// that no per-instruction observer can fire (no probe, no access
+	// callback, no prefetch engine consuming first-reference bits). The
+	// event-jump stall and window accounting do not need it — they emit
+	// byte-identical probe streams.
+	fastIssue bool
+	// wPow2/wShift/wMask precompute FetchWidth divisions for the bulk path;
+	// a variable-divisor divide costs tens of machine cycles and bulkPlains
+	// needs several per trace record.
+	wPow2  bool
+	wShift uint
+	wMask  int
+	// wayScratch holds the probed way of each line segment between
+	// bulkPlains' residency pass and its effects pass, so each line is looked
+	// up once. Reused across records (and across runs via the arena).
+	wayScratch []cache.WayHandle
+	// plainMemo, when non-nil, is the bulk-issue residency memo (see
+	// plainBulkMemo). Enabled only direct-mapped under the fastIssue gate;
+	// nil otherwise.
+	plainMemo []plainBulkMemo
+
 	// probe receives instrumentation callbacks; nil disables them, and
 	// every call site is guarded so the nil path costs one branch.
 	probe obs.Probe
@@ -83,6 +119,9 @@ type Engine struct {
 	res Result
 	err error
 }
+
+// maxCycles is a sentinel beyond any reachable simulation time.
+const maxCycles = Cycles(1) << 62
 
 // btbUpdate is a decode-time speculative BTB insertion.
 type btbUpdate struct {
@@ -116,36 +155,60 @@ func NewEngine(cfg Config, img *program.Image, rd trace.Reader, pred bpred.Predi
 	if pred == nil {
 		return nil, errors.New("core: nil predictor")
 	}
-	ic, err := cache.New(cfg.ICache)
-	if err != nil {
-		return nil, err
-	}
 	e := &Engine{
 		cfg:  cfg,
 		img:  img,
 		pred: pred,
 		rd:   rd,
 		geom: isa.LineGeom{LineBytes: cfg.ICache.LineBytes},
-		ic:   ic,
 	}
 	e.res.Policy = cfg.Policy
 	e.lastIssueCy = -Cycles(cfg.DecodeLatency) // nothing pending at t=0
+	e.nextUpdAt = maxCycles
 	if cfg.RASDepth > 0 {
 		e.ras = bpred.NewRAS(cfg.RASDepth)
-	}
-	if cfg.L2 != nil {
-		l2, err := cache.New(*cfg.L2)
-		if err != nil {
-			return nil, err
-		}
-		e.l2 = l2
 	}
 	nbuf := 1
 	if cfg.MSHRs > 0 {
 		nbuf = cfg.MSHRs
 	}
-	e.resumeBufs = make([]cache.LineBuffer, nbuf)
-	e.prefBufs = make([]cache.LineBuffer, nbuf)
+	if cfg.Arena != nil {
+		if err := cfg.Arena.acquire(e, nbuf); err != nil {
+			return nil, err
+		}
+	} else {
+		ic, err := cache.New(cfg.ICache)
+		if err != nil {
+			return nil, err
+		}
+		e.ic = ic
+		if cfg.L2 != nil {
+			l2, err := cache.New(*cfg.L2)
+			if err != nil {
+				return nil, err
+			}
+			e.l2 = l2
+		}
+		e.resumeBufs = make([]cache.LineBuffer, nbuf)
+		e.prefBufs = make([]cache.LineBuffer, nbuf)
+	}
+	e.fastIssue = cfg.StepMode == StepSkipAhead && cfg.Probe == nil &&
+		cfg.OnRightPathAccess == nil && !e.prefetchOn()
+	if pv, ok := rd.(trace.PreValidated); ok && pv.PreValidatedTrace() {
+		e.trustRecs = true
+	}
+	if w := cfg.FetchWidth; w&(w-1) == 0 {
+		e.wPow2 = true
+		e.wShift = uint(bits.TrailingZeros64(uint64(w)))
+		e.wMask = w - 1
+	}
+	if e.fastIssue && cfg.ICache.Assoc == 1 {
+		if cfg.Arena != nil {
+			e.plainMemo = cfg.Arena.takeMemo(e.ic, cfg.FetchWidth)
+		} else {
+			e.plainMemo = make([]plainBulkMemo, 1<<plainMemoBits)
+		}
+	}
 	if cfg.Probe != nil {
 		e.probe = cfg.Probe
 		if s, ok := cfg.Probe.(obs.Sampler); ok && cfg.SampleInterval > 0 {
@@ -168,19 +231,22 @@ func Run(cfg Config, img *program.Image, rd trace.Reader, pred bpred.Predictor) 
 
 // Run drives the simulation loop.
 func (e *Engine) Run() (Result, error) {
+	if e.cfg.Arena != nil {
+		// The borrowed storage goes back to the arena (with whatever
+		// capacity this run grew) on every exit path.
+		defer e.cfg.Arena.release(e)
+	}
 	e.loadRecord()
-	for !e.done() {
-		e.applyUpdates(e.cy)
-		if e.probe == nil {
-			e.stepCycle()
-		} else {
-			cy, insts0 := e.cy, e.res.Insts
-			e.stepCycle()
-			e.probe.FetchCycle(cy, int(e.res.Insts-insts0))
-		}
-		if e.err != nil {
-			return e.res, e.err
-		}
+	clean := true
+	if e.fastIssue {
+		clean = e.runFast()
+	} else {
+		clean = e.runStepped()
+	}
+	if !clean {
+		// An error surfaced mid-step: return exactly what the reference
+		// stepper returns there (counters as-is, Cycles unset).
+		return e.res, e.err
 	}
 	e.res.Cycles = e.cy
 	if e.sampler != nil {
@@ -191,6 +257,53 @@ func (e *Engine) Run() (Result, error) {
 	// A trace error on the very first (or a boundary) record ends the loop
 	// without passing through stepCycle's error check.
 	return e.res, e.err
+}
+
+// runStepped is the outer loop shared by the reference stepper and the
+// probe-observed skip-ahead path: one stepCycle per iteration, with delayed
+// predictor updates applied first. It reports false when an error surfaced
+// mid-step (as opposed to the loop ending at done()).
+func (e *Engine) runStepped() bool {
+	for !e.done() {
+		e.applyUpdates(e.cy)
+		if e.probe == nil {
+			e.stepCycle()
+		} else {
+			cy, insts0 := e.cy, e.res.Insts
+			e.stepCycle()
+			e.probe.FetchCycle(cy, int(e.res.Insts-insts0))
+		}
+		if e.err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// runFast is the skip-ahead outer loop: whole cycles of plain instructions
+// over resident lines are issued in bulk, and everything else falls back to
+// the normal stepper (whose stalls and windows themselves jump in
+// skip-ahead mode). Delayed predictor updates are applied lazily — they are
+// monotone pops only observable at predictor queries, which happen only
+// inside stepCycle — so the predictor sees the exact update/query order the
+// reference stepper produces.
+func (e *Engine) runFast() bool {
+	for !e.done() {
+		if e.bulkPlains() {
+			if e.err != nil {
+				return false
+			}
+			continue
+		}
+		if e.updatesPending(e.cy) {
+			e.applyUpdates(e.cy)
+		}
+		e.stepCycle()
+		if e.err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // emitSample delivers a cumulative-counters snapshot to the sampler.
@@ -226,11 +339,13 @@ func (e *Engine) loadRecord() {
 		}
 		return
 	}
-	if verr := rec.Validate(); verr != nil {
-		e.haveRec = false
-		e.traceDone = true
-		e.err = verr
-		return
+	if !e.trustRecs {
+		if verr := rec.Validate(); verr != nil {
+			e.haveRec = false
+			e.traceDone = true
+			e.err = verr
+			return
+		}
 	}
 	e.cur = rec
 	e.curIdx = 0
@@ -265,28 +380,72 @@ func (e *Engine) consumeInst() {
 
 // applyUpdates replays delayed predictor updates whose time has come, in
 // time order, so predictions at cycle `now` see exactly the state a real
-// machine would have.
+// machine would have. Pops advance the head indexes; a drained queue
+// resets to the front of its backing array, which is therefore reused
+// instead of regrown (the old slice[1:] pop made every future append
+// reallocate).
+// updatesPending reports whether any delayed update is due at `now`. It is
+// small enough to inline, so hot loops use it to skip the applyUpdates call
+// (a pure no-op then: drained queues were already reset by the call that
+// drained them).
+func (e *Engine) updatesPending(now Cycles) bool {
+	return e.nextUpdAt <= now
+}
+
+// queueBTB/queueResolve enqueue delayed predictor updates, keeping the
+// earliest-pending cache coherent. Times within each queue are monotone, so
+// a new entry can only lower nextUpdAt when its queue was drained.
+func (e *Engine) queueBTB(u btbUpdate) {
+	if u.at < e.nextUpdAt {
+		e.nextUpdAt = u.at
+	}
+	e.btbQ = append(e.btbQ, u)
+}
+
+func (e *Engine) queueResolve(u resolveUpdate) {
+	if u.at < e.nextUpdAt {
+		e.nextUpdAt = u.at
+	}
+	e.resolveQ = append(e.resolveQ, u)
+}
+
 func (e *Engine) applyUpdates(now Cycles) {
-	for len(e.btbQ) > 0 || len(e.resolveQ) > 0 {
-		bOK := len(e.btbQ) > 0 && e.btbQ[0].at <= now
-		rOK := len(e.resolveQ) > 0 && e.resolveQ[0].at <= now
-		switch {
-		case bOK && (!rOK || e.btbQ[0].at <= e.resolveQ[0].at):
-			u := e.btbQ[0]
-			e.btbQ = e.btbQ[1:]
+	for {
+		bOK := e.btbHead < len(e.btbQ) && e.btbQ[e.btbHead].at <= now
+		rOK := e.resolveHead < len(e.resolveQ) && e.resolveQ[e.resolveHead].at <= now
+		if !bOK && !rOK {
+			break
+		}
+		if bOK && (!rOK || e.btbQ[e.btbHead].at <= e.resolveQ[e.resolveHead].at) {
+			u := e.btbQ[e.btbHead]
+			e.btbHead++
 			e.pred.DecodeTaken(u.pc, u.target)
-		case rOK:
-			u := e.resolveQ[0]
-			e.resolveQ = e.resolveQ[1:]
+		} else {
+			u := e.resolveQ[e.resolveHead]
+			e.resolveHead++
 			if u.indirect {
 				e.pred.ResolveIndirect(u.pc, u.target)
 			} else {
 				e.pred.ResolveCond(u.pc, u.taken)
 			}
-		default:
-			return
 		}
 	}
+	if e.btbHead > 0 && e.btbHead == len(e.btbQ) {
+		e.btbQ = e.btbQ[:0]
+		e.btbHead = 0
+	}
+	if e.resolveHead > 0 && e.resolveHead == len(e.resolveQ) {
+		e.resolveQ = e.resolveQ[:0]
+		e.resolveHead = 0
+	}
+	next := maxCycles
+	if e.btbHead < len(e.btbQ) {
+		next = e.btbQ[e.btbHead].at
+	}
+	if e.resolveHead < len(e.resolveQ) && e.resolveQ[e.resolveHead].at < next {
+		next = e.resolveQ[e.resolveHead].at
+	}
+	e.nextUpdAt = next
 }
 
 // prefetchOn reports whether any prefetch engine is configured.
@@ -360,14 +519,17 @@ func (e *Engine) armTargetPrefetch(target isa.Addr) {
 
 // retireConds frees speculation slots whose branches have resolved by now.
 func (e *Engine) retireConds(now Cycles) {
-	i := 0
-	for i < len(e.condSlots) && e.condSlots[i] <= now {
-		i++
+	for e.condHead < len(e.condSlots) && e.condSlots[e.condHead] <= now {
+		e.condHead++
 	}
-	if i > 0 {
-		e.condSlots = e.condSlots[i:]
+	if e.condHead == len(e.condSlots) {
+		e.condSlots = e.condSlots[:0]
+		e.condHead = 0
 	}
 }
+
+// condCount returns the number of in-flight correct-path conditionals.
+func (e *Engine) condCount() int { return len(e.condSlots) - e.condHead }
 
 // chargePhase describes one attribution interval of a stall: dead cycles
 // strictly before `until` belong to `comp`.
@@ -380,8 +542,14 @@ type chargePhase struct {
 // useful instructions (its remaining slots are lost), cycles up to
 // resumeAt-1 are fully lost, and fetch restarts at resumeAt. Each dead cycle
 // is attributed to the first phase whose `until` exceeds it; the final
-// phase's until must be >= resumeAt.
+// phase's until must be >= resumeAt. In skip-ahead mode the accounting is
+// done per interval (chargeStallJump); the per-cycle loop below is the
+// reference it is verified against.
 func (e *Engine) chargeStall(slotsIssued int, phases []chargePhase, resumeAt Cycles) {
+	if e.cfg.StepMode == StepSkipAhead {
+		e.chargeStallJump(slotsIssued, phases, resumeAt)
+		return
+	}
 	w := Slots(e.cfg.FetchWidth)
 	for c := e.cy; c < resumeAt; c++ {
 		lost := w
@@ -583,11 +751,11 @@ func (e *Engine) stepCycle() {
 			groupLineValid = true
 		}
 
-		if in.kind.IsConditional() && len(e.condSlots)+e.wrongConds >= e.cfg.MaxUnresolved {
+		if in.kind.IsConditional() && e.condCount()+e.wrongConds >= e.cfg.MaxUnresolved {
 			// Speculation limit: stall until the oldest branch resolves.
 			resumeAt := e.cy + 1
-			if len(e.condSlots) > 0 {
-				resumeAt = e.condSlots[0]
+			if e.condCount() > 0 {
+				resumeAt = e.condSlots[e.condHead]
 			}
 			if resumeAt <= e.cy {
 				resumeAt = e.cy + 1
@@ -702,7 +870,7 @@ func (e *Engine) handleRightPathMiss(line uint64, slotsIssued int) {
 		if g := e.lastIssueCy + Cycles(e.cfg.DecodeLatency); g > gate {
 			gate = g
 		}
-		if n := len(e.condSlots); n > 0 && e.condSlots[n-1] > gate {
+		if n := len(e.condSlots); n > e.condHead && e.condSlots[n-1] > gate {
 			gate = e.condSlots[n-1]
 		}
 	case Decode:
@@ -777,7 +945,7 @@ func (e *Engine) handleBranch(in instInfo, slotsIssued int) bool {
 	if in.kind.IsConditional() {
 		e.res.CondBranches++
 		e.condSlots = append(e.condSlots, resolveAt)
-		e.resolveQ = append(e.resolveQ, resolveUpdate{at: resolveAt, pc: in.pc, taken: in.taken})
+		e.queueResolve(resolveUpdate{at: resolveAt, pc: in.pc, taken: in.taken})
 		predTaken := e.pred.PredictCond(in.pc)
 		staticTarget := e.img.At(in.pc).Target
 		if e.probe != nil {
@@ -788,7 +956,7 @@ func (e *Engine) handleBranch(in instInfo, slotsIssued int) bool {
 		}
 		if predTaken {
 			// Decode-time speculative BTB insert of the (computed) target.
-			e.btbQ = append(e.btbQ, btbUpdate{at: decodeAt, pc: in.pc, target: staticTarget})
+			e.queueBTB(btbUpdate{at: decodeAt, pc: in.pc, target: staticTarget})
 		}
 		switch {
 		case predTaken == in.taken && !predTaken:
@@ -828,7 +996,7 @@ func (e *Engine) handleBranch(in instInfo, slotsIssued int) bool {
 
 	// Unconditional transfers: always taken.
 	if in.kind.IsIndirect() {
-		e.resolveQ = append(e.resolveQ, resolveUpdate{
+		e.queueResolve(resolveUpdate{
 			at: resolveAt, pc: in.pc, indirect: true, target: in.target, taken: true,
 		})
 		if e.cfg.TargetPrefetch && btbHit {
@@ -870,7 +1038,7 @@ func (e *Engine) handleBranch(in instInfo, slotsIssued int) bool {
 	}
 
 	// Direct unconditional (jump/call).
-	e.btbQ = append(e.btbQ, btbUpdate{at: decodeAt, pc: in.pc, target: in.target})
+	e.queueBTB(btbUpdate{at: decodeAt, pc: in.pc, target: in.target})
 	if e.cfg.TargetPrefetch {
 		e.armTargetPrefetch(in.target)
 	}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"specfetch/internal/bpred"
+	"specfetch/internal/isa"
+	"specfetch/internal/metrics"
+	"specfetch/internal/obs"
+	"specfetch/internal/program"
+	"specfetch/internal/synth"
+	"specfetch/internal/trace"
+)
+
+// Event-time tests: degenerate completion schedules that stress the
+// skip-ahead core's bulk accounting at its boundaries — simultaneous
+// completions, minimal-latency fills, bus busy-until times landing inside a
+// skipped region, and the instruction budget expiring exactly at a skip
+// boundary. Each scenario runs both step modes and requires bit-identical
+// Results and probe event streams; the hand-built ones additionally pin
+// absolute cycle counts so a symmetric bug (both modes wrong the same way)
+// cannot hide.
+
+// diffRecs runs a hand-built program/trace through both step modes with a
+// full event recorder attached and requires identical Results and event
+// streams; it returns the (shared) result and stream.
+func diffRecs(t *testing.T, cfg Config, img *program.Image, recs []trace.Record) (Result, []obs.Event) {
+	t.Helper()
+	runMode := func(mode StepMode) (Result, []obs.Event) {
+		c := cfg
+		c.StepMode = mode
+		rec := obs.NewEventRecorder(1 << 16)
+		c.Probe = obs.Multi(rec, c.Probe)
+		res, err := Run(c, img, trace.NewSliceReader(recs), bpred.NewDefaultDecoupled())
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if rec.Dropped() != 0 {
+			t.Fatalf("mode %v: recorder overflowed (%d dropped)", mode, rec.Dropped())
+		}
+		return res, rec.Events()
+	}
+	ref, refEvs := runMode(StepReference)
+	fast, fastEvs := runMode(StepSkipAhead)
+	if !reflect.DeepEqual(ref, fast) {
+		t.Errorf("Results differ between modes\nreference: %+v\nskipahead: %+v", ref, fast)
+	}
+	if !reflect.DeepEqual(refEvs, fastEvs) {
+		n := min(len(refEvs), len(fastEvs))
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(refEvs[i], fastEvs[i]) {
+				t.Fatalf("event %d differs\nreference: %+v\nskipahead: %+v", i, refEvs[i], fastEvs[i])
+			}
+		}
+		t.Fatalf("event count differs: reference %d, skipahead %d", len(refEvs), len(fastEvs))
+	}
+	return ref, refEvs
+}
+
+// TestEventStreamGoldenLiteral pins the exact event sequence of a scenario
+// whose interesting events all fall inside regions the skip-ahead core jumps
+// over: a cold-miss stall (cycles 0-5), a misfetch window whose wrong-path
+// fill overhangs it (the redirect waits on the bus until cycle 12), and a
+// mispredict window (cycles 13-18). This is the negative test for the bulk
+// skip's event timestamps: if a jump stamped its events with the post-jump
+// clock — or coalesced them in a different emission order than the per-cycle
+// stepper — the literal below would not match. Every Cy/Until value here is
+// a true completion cycle inside a skipped interval, not an emission time.
+func TestEventStreamGoldenLiteral(t *testing.T) {
+	t.Parallel()
+	// Line 0: 7 plains + a conditional looping to 0. Lines 1-2: plains.
+	// Record 1 takes the loop: the weakly-taken counter predicts taken but
+	// the BTB is cold, so fetch runs down the fall-through (wrong path,
+	// missing line 1) for the misfetch window. Record 2 falls through: now
+	// the counter still says taken, so this is a full mispredict. Record 3
+	// issues the fall-through plains from the wrong-path-filled line 1.
+	p := newProg(t, 0)
+	p.plains(7)
+	p.inst(isa.CondBranch, 0)
+	p.plains(8)
+	img := p.build()
+	recs := []trace.Record{
+		{Start: 0, N: 8, BrKind: isa.CondBranch, Taken: true, Target: 0},
+		{Start: 0, N: 8, BrKind: isa.CondBranch, Taken: false},
+		{Start: 32, N: 8, BrKind: isa.Plain},
+	}
+
+	_, evs := diffRecs(t, cfgWith(Optimistic), img, recs)
+
+	want := []obs.Event{
+		// Cold miss on line 0: the fill is scheduled eagerly, so the bus
+		// release and fill completion (cycle 5) are reported from cycle 0;
+		// the whole stall is one coalesced [0,5) segment.
+		{Cy: 0, Type: obs.EvMissStart, Line: 0, Kind: "demand"},
+		{Cy: 0, Type: obs.EvBusAcquire, Line: 0, Kind: "demand"},
+		{Cy: 5, Type: obs.EvBusRelease},
+		{Cy: 5, Type: obs.EvFillComplete, Line: 0, Kind: "demand"},
+		{Cy: 0, Type: obs.EvStall, Until: 5, Comp: "rt_icache", Slots: 20},
+		{Cy: 0, Type: obs.EvFetchCycle, Issued: 0},
+		{Cy: 5, Type: obs.EvFetchCycle, Issued: 4},
+		// The conditional fetches in cycle 6 (slot 3) and resolves at 6+4+1;
+		// its misfetch window runs [6,9) with the wrong-path miss on line 1
+		// at cycle 7 occupying the bus until 12, so the redirect at 9 stalls
+		// on wrong_icache until the fill lands.
+		{Cy: 11, Type: obs.EvBranchResolve, PC: 28, Taken: true},
+		{Cy: 6, Type: obs.EvWindowStart, Until: 9, Kind: "btb_misfetch"},
+		{Cy: 7, Type: obs.EvMissStart, Line: 1, Kind: "wrong_path"},
+		{Cy: 7, Type: obs.EvBusAcquire, Line: 1, Kind: "wrong_path"},
+		{Cy: 12, Type: obs.EvBusRelease},
+		{Cy: 12, Type: obs.EvFillComplete, Line: 1, Kind: "wrong_path"},
+		{Cy: 9, Type: obs.EvStall, Until: 12, Comp: "wrong_icache", Slots: 12},
+		{Cy: 9, Type: obs.EvRedirect, PC: 0, Kind: "btb_misfetch"},
+		{Cy: 12, Type: obs.EvWindowEnd},
+		{Cy: 6, Type: obs.EvFetchCycle, Issued: 4},
+		{Cy: 12, Type: obs.EvFetchCycle, Issued: 4},
+		// Second execution: predicted taken again, actually not taken — a
+		// full mispredict window [13,18) with the redirect to the
+		// fall-through (PC 32) at resolve time.
+		{Cy: 18, Type: obs.EvBranchResolve, PC: 28, Mispredict: true},
+		{Cy: 13, Type: obs.EvWindowStart, Until: 18, Kind: "pht_mispredict"},
+		{Cy: 18, Type: obs.EvRedirect, PC: 32, Kind: "pht_mispredict"},
+		{Cy: 18, Type: obs.EvWindowEnd},
+		{Cy: 13, Type: obs.EvFetchCycle, Issued: 4},
+		// Line 1 is resident from the wrong-path fill: the final plains
+		// issue without a miss.
+		{Cy: 18, Type: obs.EvFetchCycle, Issued: 4},
+		{Cy: 19, Type: obs.EvFetchCycle, Issued: 4},
+	}
+	if !reflect.DeepEqual(evs, want) {
+		n := min(len(evs), len(want))
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(evs[i], want[i]) {
+				t.Fatalf("event %d:\ngot  %+v\nwant %+v", i, evs[i], want[i])
+			}
+		}
+		t.Fatalf("event count: got %d, want %d", len(evs), len(want))
+	}
+}
+
+// TestMinimalLatencyFillTiming runs straight-line code at MissPenalty 1, the
+// smallest legal fill time: every skipped stall interval is a single cycle,
+// so any off-by-one in the jump arithmetic (skipping zero cycles, or one too
+// many) shifts the exact counts pinned here.
+func TestMinimalLatencyFillTiming(t *testing.T) {
+	t.Parallel()
+	const lines = 8
+	img := newProg(t, 0).plains(lines * 8).build()
+	recs := []trace.Record{{Start: 0, N: lines * 8, BrKind: isa.Plain}}
+
+	cfg := cfgWith(Optimistic)
+	cfg.MissPenalty = 1
+	res, _ := diffRecs(t, cfg, img, recs)
+
+	// Per line: 1 stall cycle + 2 issue cycles.
+	if got, want := res.Cycles, Cycles(lines*3); got != want {
+		t.Errorf("cycles = %d, want %d", got, want)
+	}
+	if got, want := res.Lost[metrics.RTICache], Slots(lines*4); got != want {
+		t.Errorf("rt_icache slots = %d, want %d", got, want)
+	}
+	if got, want := res.RightPathMisses, int64(lines); got != want {
+		t.Errorf("right-path misses = %d, want %d", got, want)
+	}
+}
+
+// TestSimultaneousFillCompletions makes two fills complete on the same
+// cycle: with pipelined memory and the next-line prefetcher, the cold demand
+// fill of line 0 and the prefetch of line 1 are both issued at cycle 0 and
+// both land at cycle 5. The skip-ahead core must treat the coincident
+// completion as one event time, not double-advance.
+func TestSimultaneousFillCompletions(t *testing.T) {
+	t.Parallel()
+	const lines = 8
+	img := newProg(t, 0).plains(lines * 8).build()
+	recs := []trace.Record{{Start: 0, N: lines * 8, BrKind: isa.Plain}}
+
+	cfg := cfgWith(Optimistic)
+	cfg.PipelinedMemory = true
+	cfg.NextLinePrefetch = true
+	res, _ := diffRecs(t, cfg, img, recs)
+
+	if res.Traffic.PrefetchFills == 0 {
+		t.Fatal("no prefetch fills; scenario did not arm the prefetcher")
+	}
+	// Line 0 cold-misses (5 cycles); line 1 arrives with it for free.
+	if got, want := res.Lost[metrics.RTICache], Slots(5*4); got != want {
+		t.Errorf("rt_icache slots = %d, want %d (only the cold miss)", got, want)
+	}
+}
+
+// TestBusBusyUntilLandsMidSkip parks a long wrong-path fill on the bus and
+// then lets the correct path run resident plain code for many cycles: the
+// bus's busy-until time lies strictly inside the region the skip-ahead core
+// bulk-issues. When the correct path finally misses, it must wait out
+// exactly the remaining occupancy.
+func TestBusBusyUntilLandsMidSkip(t *testing.T) {
+	t.Parallel()
+	p := newProg(t, 0)
+	p.plains(7)
+	p.inst(isa.CondBranch, 0) // line 0: loop
+	p.plains(24)              // lines 1-3
+	img := p.build()
+
+	// Iteration 1's misfetch starts a 20-cycle wrong-path fill of line 1
+	// (Resume services it without blocking the redirect). Iterations 2-4
+	// loop through resident line 0 — pure bulk issue — while the bus drains.
+	// The final fall-through then runs into line 2, a fresh demand miss that
+	// must queue behind the wrong-path transfer still on the bus.
+	recs := []trace.Record{
+		{Start: 0, N: 8, BrKind: isa.CondBranch, Taken: true, Target: 0},
+		{Start: 0, N: 8, BrKind: isa.CondBranch, Taken: true, Target: 0},
+		{Start: 0, N: 8, BrKind: isa.CondBranch, Taken: true, Target: 0},
+		{Start: 0, N: 8, BrKind: isa.CondBranch, Taken: false},
+		{Start: 32, N: 24, BrKind: isa.Plain},
+	}
+
+	cfg := cfgWith(Resume)
+	cfg.MissPenalty = 20
+	res, _ := diffRecs(t, cfg, img, recs)
+
+	if got, want := res.Traffic.WrongPathFills, uint64(1); got != want {
+		t.Errorf("wrong-path fills = %d, want %d", got, want)
+	}
+	if res.Lost[metrics.Bus] == 0 {
+		t.Error("bus slots = 0, want > 0 (demand miss behind the draining wrong-path fill)")
+	}
+}
+
+// TestBudgetStopsAtSkipBoundary expires the instruction budget at, just
+// before, and just past a fetch-group and bulk-region boundary. Both modes
+// must agree on the final instruction count and every other counter — the
+// bulk issuer caps its region at the budget rather than overshooting it.
+func TestBudgetStopsAtSkipBoundary(t *testing.T) {
+	t.Parallel()
+	const lines = 16
+	img := newProg(t, 0).plains(lines * 8).build()
+	recs := []trace.Record{{Start: 0, N: lines * 8, BrKind: isa.Plain}}
+
+	for _, budget := range []int64{1, 3, 4, 5, 8, 63, 64, 65, 100} {
+		cfg := cfgWith(Optimistic)
+		cfg.MaxInsts = budget
+		res, _ := diffRecs(t, cfg, img, recs)
+		if res.Insts < budget {
+			t.Errorf("budget %d: stopped early at %d insts", budget, res.Insts)
+		}
+		// A run may only overshoot to the end of the fetch group in flight.
+		if res.Insts >= budget+int64(cfg.FetchWidth) {
+			t.Errorf("budget %d: overshot to %d insts", budget, res.Insts)
+		}
+	}
+}
+
+// TestDegenerateScheduleMatrix sweeps the latency knobs through their
+// smallest legal values and near-coincident combinations (fill time equal to
+// the resolve distance, decode equal to resolve, penalty 1) on a branchy
+// hand-built loop, holding both modes to identical Results and event
+// streams. These are the schedules where several completion times collide
+// on one cycle or an event lands exactly on a skip boundary.
+func TestDegenerateScheduleMatrix(t *testing.T) {
+	t.Parallel()
+	p := newProg(t, 0)
+	p.plains(7)
+	p.inst(isa.CondBranch, 0) // line 0: loop
+	p.plains(16)              // lines 1-2
+	img := p.build()
+
+	var recs []trace.Record
+	for i := 0; i < 6; i++ {
+		recs = append(recs, trace.Record{Start: 0, N: 8, BrKind: isa.CondBranch, Taken: true, Target: 0})
+	}
+	recs = append(recs,
+		trace.Record{Start: 0, N: 8, BrKind: isa.CondBranch, Taken: false},
+		trace.Record{Start: 32, N: 16, BrKind: isa.Plain},
+	)
+
+	for _, pol := range Policies() {
+		for _, pen := range []int{1, 2, 4, 5} {
+			for _, dec := range []int{1, 2} {
+				for _, resv := range []int{dec, dec + 2, 4} {
+					if resv < dec {
+						continue
+					}
+					cfg := cfgWith(pol)
+					cfg.MissPenalty = pen
+					cfg.DecodeLatency = dec
+					cfg.ResolveLatency = resv
+					diffRecs(t, cfg, img, recs)
+				}
+			}
+		}
+	}
+}
+
+// TestSkipAheadSteadyStateAllocFree asserts the zero-allocation property of
+// the arena-backed hot loop: once the arena is warm, a run's allocation
+// count is a small constant (engine header, predictor tables, reader
+// cursor) that does not grow with the number of instructions simulated —
+// i.e. the per-cycle/per-skip steady state allocates nothing. Comparing a
+// short run against one 8x longer isolates the loop from that fixed setup
+// cost, which testing.AllocsPerRun cannot see past on its own.
+func TestSkipAheadSteadyStateAllocFree(t *testing.T) {
+	bench := synth.MustBuild(synth.Su2cor())
+	const longInsts = 24_000
+	var recs []trace.Record
+	rd := trace.NewLimitReader(bench.NewWalker(7), longInsts+longInsts/4)
+	for {
+		rec, err := rd.Next()
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+	}
+
+	arena := NewArena()
+	runN := func(insts int64) float64 {
+		return testing.AllocsPerRun(5, func() {
+			cfg := DefaultConfig()
+			cfg.Policy = Resume
+			cfg.MaxInsts = insts
+			cfg.Arena = arena
+			if _, err := Run(cfg, bench.Image(), trace.NewSliceReader(recs), bpred.NewDefaultDecoupled()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	// Warm the arena (and grow its queues to steady-state capacity) on the
+	// longest run first so growth never charges the measured runs.
+	runN(longInsts)
+	long := runN(longInsts)
+	short := runN(longInsts / 8)
+	if long != short {
+		t.Errorf("allocations grow with run length: %.0f allocs at %d insts vs %.0f at %d insts",
+			long, longInsts, short, longInsts/8)
+	}
+	t.Logf("fixed per-run allocations: %.0f", long)
+}

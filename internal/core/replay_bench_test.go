@@ -1,0 +1,63 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"specfetch/internal/bpred"
+	"specfetch/internal/synth"
+	"specfetch/internal/trace"
+)
+
+// replayRecs is a minimal pre-validated replay cursor: the benchmark
+// equivalent of the experiments layer's shared-trace reader, so the engine
+// takes the same trusted-record path a memoized sweep cell does.
+type replayRecs struct {
+	recs []trace.Record
+	i    int
+}
+
+func (r *replayRecs) PreValidatedTrace() bool { return true }
+
+func (r *replayRecs) Next() (trace.Record, error) {
+	if r.i < len(r.recs) {
+		rec := r.recs[r.i]
+		r.i++
+		return rec, nil
+	}
+	return trace.Record{}, io.EOF
+}
+
+// BenchmarkReplayEngine measures the engine alone — records pre-generated,
+// arena warm, trace validation vouched — which is the steady-state shape of
+// a sweep cell after the first on a worker. The Minsts/s metric is
+// correct-path instructions simulated per wall-clock second.
+func BenchmarkReplayEngine(b *testing.B) {
+	bench := synth.MustBuild(synth.Su2cor())
+	const insts = 200_000
+	var recs []trace.Record
+	rd := trace.NewLimitReader(bench.NewWalker(0x5eed), insts+insts/4)
+	for {
+		rec, err := rd.Next()
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	cfg := DefaultConfig()
+	cfg.Policy = Resume
+	cfg.MaxInsts = insts
+	cfg.Arena = NewArena()
+	mk, err := bpred.ByName("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, bench.Image(), &replayRecs{recs: recs}, mk()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minsts/s")
+}

@@ -52,39 +52,10 @@ func (e *Engine) runWindow(slotsIssued int, ev eventClass, phases []wpPhase, res
 	e.tryPrefetch(e.cy)
 
 	st := wpState{}
-	phaseIdx := -1
-
-	for wc := e.cy + 1; wc < windowEnd; wc++ {
-		e.res.Lost.Add(metrics.Branch, width)
-		branchSlots += width
-		e.applyUpdates(wc)
-		e.retireConds(wc)
-
-		// Phase transition: the decode-time redirect restarts the wrong-path
-		// fetch unit at the new address and clears fetch-side stalls, but an
-		// outstanding fill keeps the bus and the (blocking) cache busy.
-		idx := len(phases) - 1
-		for i, p := range phases {
-			if wc < p.until {
-				idx = i
-				break
-			}
-		}
-		if idx != phaseIdx {
-			phaseIdx = idx
-			st.wpc = phases[idx].start
-			st.stalled = false
-			st.bubbleUntil = 0
-			st.haveLastLine = false
-		}
-
-		if wc < st.blockUntil || wc < st.fillWaitUntil || wc < st.bubbleUntil || st.stalled {
-			continue
-		}
-		e.prefCandValid = false
-		e.targetCandValid = false
-		e.wrongPathFetchCycle(wc, phases[phaseIdx], &st)
-		e.tryPrefetch(wc)
+	if e.cfg.StepMode == StepSkipAhead {
+		branchSlots += e.windowCyclesSkip(phases, &st, windowEnd)
+	} else {
+		branchSlots += e.windowCyclesRef(phases, &st, windowEnd)
 	}
 
 	resumeAt := windowEnd
@@ -127,6 +98,49 @@ func (e *Engine) runWindow(slotsIssued int, ev eventClass, phases []wpPhase, res
 				pk.pc, resumePC)
 		}
 	}
+}
+
+// windowCyclesRef is the reference per-cycle body of runWindow's loop: every
+// window cycle loses a full fetch width to the branch component, and cycles
+// not spent waiting on a fill, a decode bubble, or an end-of-phase stall
+// fetch down the wrong path. It returns the slots charged.
+func (e *Engine) windowCyclesRef(phases []wpPhase, st *wpState, windowEnd Cycles) Slots {
+	width := Slots(e.cfg.FetchWidth)
+	var slots Slots
+	phaseIdx := -1
+	for wc := e.cy + 1; wc < windowEnd; wc++ {
+		e.res.Lost.Add(metrics.Branch, width)
+		slots += width
+		e.applyUpdates(wc)
+		e.retireConds(wc)
+
+		// Phase transition: the decode-time redirect restarts the wrong-path
+		// fetch unit at the new address and clears fetch-side stalls, but an
+		// outstanding fill keeps the bus and the (blocking) cache busy.
+		idx := len(phases) - 1
+		for i, p := range phases {
+			if wc < p.until {
+				idx = i
+				break
+			}
+		}
+		if idx != phaseIdx {
+			phaseIdx = idx
+			st.wpc = phases[idx].start
+			st.stalled = false
+			st.bubbleUntil = 0
+			st.haveLastLine = false
+		}
+
+		if wc < st.blockUntil || wc < st.fillWaitUntil || wc < st.bubbleUntil || st.stalled {
+			continue
+		}
+		e.prefCandValid = false
+		e.targetCandValid = false
+		e.wrongPathFetchCycle(wc, phases[phaseIdx], st)
+		e.tryPrefetch(wc)
+	}
+	return slots
 }
 
 // wrongPathFetchCycle fetches up to one issue group down the wrong path at
@@ -172,8 +186,29 @@ func (e *Engine) wrongPathFetchCycle(wc Cycles, ph wpPhase, st *wpState) {
 			groupLineValid = true
 		}
 
+		// A run of plain instructions on the current line needs none of the
+		// machinery below: no predictor query, no speculation slot, no line
+		// crossing. Consume the whole stretch at once (bounded by the group,
+		// the line, and the run itself); the per-instruction loop this
+		// replaces would do exactly one WrongPathInsts++ and a pc.Next() per
+		// iteration.
+		if run := e.img.PlainRunLen(st.wpc); run > 0 {
+			k := width - slot
+			if run < k {
+				k = run
+			}
+			if left := e.geom.InstsLeftInLine(st.wpc); left < k {
+				k = left
+			}
+			e.res.WrongPathInsts += int64(k)
+			st.wpc = st.wpc.Plus(k)
+			slot += k - 1
+			groupLineValid = e.geom.Line(st.wpc) == groupLine
+			continue
+		}
+
 		in := e.img.At(st.wpc)
-		if in.Kind.IsConditional() && len(e.condSlots)+e.wrongConds >= e.cfg.MaxUnresolved {
+		if in.Kind.IsConditional() && e.condCount()+e.wrongConds >= e.cfg.MaxUnresolved {
 			// Out of speculation slots; wrong-path fetch waits. Slots are
 			// only reclaimed by resolutions of pre-window branches or by the
 			// squash at window end.
@@ -211,7 +246,7 @@ func (e *Engine) wrongPathNext(pc isa.Addr, in program.Inst, wc Cycles, st *wpSt
 		if !predTaken {
 			return pc.Next(), true
 		}
-		e.btbQ = append(e.btbQ, btbUpdate{at: decodeAt, pc: pc, target: in.Target})
+		e.queueBTB(btbUpdate{at: decodeAt, pc: pc, target: in.Target})
 		if t, hit := e.pred.PredictTarget(pc); hit {
 			return t, true
 		}
@@ -221,7 +256,7 @@ func (e *Engine) wrongPathNext(pc isa.Addr, in program.Inst, wc Cycles, st *wpSt
 		return in.Target, true
 
 	case in.Kind == isa.Jump || in.Kind == isa.Call:
-		e.btbQ = append(e.btbQ, btbUpdate{at: decodeAt, pc: pc, target: in.Target})
+		e.queueBTB(btbUpdate{at: decodeAt, pc: pc, target: in.Target})
 		if e.cfg.TargetPrefetch {
 			e.armTargetPrefetch(in.Target)
 		}

@@ -51,6 +51,7 @@ type WireConfig struct {
 	RASDepth         int           `json:"ras_depth,omitempty"`
 	FlushInterval    int64         `json:"flush_interval,omitempty"`
 	SampleInterval   int64         `json:"sample_interval,omitempty"`
+	StepMode         core.StepMode `json:"step_mode,omitempty"`
 }
 
 // FromConfig flattens a core.Config into its wire mirror. It fails when the
@@ -82,6 +83,7 @@ func FromConfig(c core.Config) (WireConfig, error) {
 		RASDepth:         c.RASDepth,
 		FlushInterval:    c.FlushInterval,
 		SampleInterval:   c.SampleInterval,
+		StepMode:         c.StepMode,
 	}, nil
 }
 
@@ -107,6 +109,7 @@ func (w WireConfig) ToConfig() core.Config {
 		RASDepth:         w.RASDepth,
 		FlushInterval:    w.FlushInterval,
 		SampleInterval:   w.SampleInterval,
+		StepMode:         w.StepMode,
 	}
 }
 

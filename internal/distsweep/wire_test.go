@@ -223,6 +223,7 @@ func TestConfigRoundTrip(t *testing.T) {
 	cfg.RASDepth = 16
 	cfg.FlushInterval = 50_000
 	cfg.SampleInterval = 1_000
+	cfg.StepMode = core.StepReference
 
 	w, err := FromConfig(cfg)
 	if err != nil {

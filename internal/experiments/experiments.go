@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"sync"
 
 	"specfetch/internal/core"
 	"specfetch/internal/distsweep"
@@ -60,6 +62,40 @@ type Options struct {
 	// builders. Nil with Remote set uses a process-wide coordinator shared
 	// by every Options naming the same worker list.
 	Dispatch *distsweep.Coordinator
+	// StepMode selects the engine's time-advance strategy for every cell:
+	// the skip-ahead event core (the zero value) or the cycle-by-cycle
+	// reference stepper. The two produce bit-identical results (see
+	// core/stepmode_diff_test.go); the knob exists so sweeps can be pinned
+	// or cross-checked. When unset, the SPECFETCH_STEPMODE environment
+	// variable ("skipahead"/"reference") applies — the CI matrix uses it to
+	// run the golden suite under both cores without code changes.
+	StepMode core.StepMode
+}
+
+// envStepMode resolves SPECFETCH_STEPMODE once; an unparsable value panics
+// (silently ignoring a typo would quietly un-pin a CI matrix leg).
+var envStepMode = sync.OnceValue(func() core.StepMode {
+	v := os.Getenv("SPECFETCH_STEPMODE")
+	if v == "" {
+		return core.StepSkipAhead
+	}
+	m, err := core.ParseStepMode(v)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: bad SPECFETCH_STEPMODE: %v", err))
+	}
+	return m
+})
+
+// ParseStepMode re-exports core.ParseStepMode so command-line layers that
+// already depend on experiments need no direct core import for the flag.
+func ParseStepMode(s string) (core.StepMode, error) { return core.ParseStepMode(s) }
+
+// stepMode resolves the effective engine mode for this Options.
+func (opt Options) stepMode() core.StepMode {
+	if opt.StepMode != core.StepSkipAhead {
+		return opt.StepMode
+	}
+	return envStepMode()
 }
 
 // observe reports one finished simulation to the optional progress and

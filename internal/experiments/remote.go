@@ -55,7 +55,12 @@ func (opt Options) coordinator() *distsweep.Coordinator {
 // cell carries in-process-only state (a probe or access callback) and
 // must run locally.
 func specForCell(opt Options, c runCell) (distsweep.JobSpec, bool) {
-	wc, err := distsweep.FromConfig(c.cfg)
+	cfg := c.cfg
+	// Resolve the engine mode here so a pinned sweep stays pinned across
+	// the wire: the worker runs whatever mode the coordinator resolved, not
+	// its own environment default.
+	cfg.StepMode = opt.stepMode()
+	wc, err := distsweep.FromConfig(cfg)
 	if err != nil {
 		return distsweep.JobSpec{}, false
 	}
@@ -169,6 +174,10 @@ func (r *JobRunner) Run(spec distsweep.JobSpec) (distsweep.JobResult, error) {
 		AuditSample: spec.AuditSample,
 		Metrics:     r.Metrics,
 		Progress:    r.Progress,
+		// The wire config carries the coordinator-resolved step mode;
+		// threading it through Options keeps simulateCell's stamp from
+		// replacing it with this worker's environment default.
+		StepMode: cell.cfg.StepMode,
 	}
 	res, err := simulateLocal(cell, opt)
 	if err != nil {

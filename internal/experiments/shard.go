@@ -183,15 +183,28 @@ func runCells(opt Options, cells []runCell) ([]core.Result, error) {
 
 // runCellsLocal executes a work-list on the in-process pool. With host
 // tracing enabled (Options.Spans), every cell is wrapped in a span named
-// "<bench>/<policy>" on the worker that ran it.
+// "<bench>/<policy>" on the worker that ran it. Two per-pool reuses make the
+// steady state cheap without changing a byte of output: dynamic streams read
+// by several cells are generated once and replayed (sharedTraces), and each
+// pool worker keeps one core.Arena so consecutive cells on it reuse queue
+// and cache storage instead of reallocating.
 func runCellsLocal(opt Options, cells []runCell) ([]core.Result, error) {
+	shared := sharedTraces(opt, cells)
+	arenas := make([]*core.Arena, opt.workers())
 	return mapCells(opt, len(cells), func(w, i int) (core.Result, error) {
 		var sp obs.SpanHandle
 		if opt.Spans != nil {
 			sp = opt.Spans.Start(
 				cells[i].bench.Profile().Name+"/"+cells[i].cfg.Policy.String(), w)
 		}
-		res, err := simulateLocal(cells[i], opt)
+		if arenas[w] == nil {
+			arenas[w] = core.NewArena()
+		}
+		var rd trace.Reader
+		if s := shared[cellTraceKey(cells[i], opt)]; s != nil {
+			rd = s.reader()
+		}
+		res, err := simulateCell(cells[i], opt, rd, arenas[w])
 		spanEnd(opt, sp)
 		if err != nil {
 			return core.Result{}, fmt.Errorf("%s/%s: %w",
@@ -258,8 +271,18 @@ func simulate(c runCell, opt Options) (core.Result, error) {
 // re-surfaces them), and the final accounting identities are verified
 // before the result is accepted.
 func simulateLocal(c runCell, opt Options) (core.Result, error) {
+	return simulateCell(c, opt, nil, nil)
+}
+
+// simulateCell is simulateLocal with the pool executor's reuses threaded in:
+// rd, when non-nil, is a replay cursor over the cell's (pre-generated)
+// stream; arena, when non-nil, donates storage from earlier cells on the
+// same worker. Both are behaviour-neutral.
+func simulateCell(c runCell, opt Options, rd trace.Reader, arena *core.Arena) (core.Result, error) {
 	cfg := c.cfg
 	cfg.MaxInsts = opt.Insts
+	cfg.StepMode = opt.stepMode()
+	cfg.Arena = arena
 	var aud *obs.AuditProbe
 	if opt.AuditSample > 0 {
 		aud = obs.NewAuditProbe(obs.AuditOptions{
@@ -278,7 +301,9 @@ func simulateLocal(c runCell, opt Options) (core.Result, error) {
 		return core.Result{}, err
 	}
 	pred := mk()
-	rd := trace.NewLimitReader(c.bench.NewWalker(c.seed), opt.Insts+opt.Insts/4)
+	if rd == nil {
+		rd = trace.NewLimitReader(c.bench.NewWalker(c.seed), traceLimit(opt.Insts))
+	}
 	res, err := core.Run(cfg, c.bench.Image(), rd, pred)
 	if err != nil {
 		return res, err

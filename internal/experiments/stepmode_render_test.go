@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+
+	"specfetch/internal/core"
+)
+
+// TestStepModeRenderIdentity is the end-to-end arm of the step-mode
+// differential suite: it renders Table 6 and Figure 1 through the whole
+// experiment pipeline — trace memoization, arenas, worker pool, builders,
+// text renderers — in both step modes, with and without the audit probe
+// attached, and requires byte-identical output. The core suite proves the
+// engines agree cell by cell; this proves nothing between the engine and
+// the printed paper artifacts depends on which core ran.
+func TestStepModeRenderIdentity(t *testing.T) {
+	t.Parallel()
+	base := Options{Insts: 20_000, Workers: 1}
+	if testing.Short() {
+		base.Benchmarks = []string{"gcc", "groff"}
+	}
+
+	render := func(mode core.StepMode, audit int) string {
+		t.Helper()
+		opt := base
+		opt.StepMode = mode
+		opt.AuditSample = audit
+		tab, err := Table6(opt)
+		if err != nil {
+			t.Fatalf("Table6(mode %v, audit %d): %v", mode, audit, err)
+		}
+		fig, err := Figure1(opt)
+		if err != nil {
+			t.Fatalf("Figure1(mode %v, audit %d): %v", mode, audit, err)
+		}
+		return tab.String() + "\n" + fig.String()
+	}
+
+	want := render(core.StepReference, 0)
+	for _, tc := range []struct {
+		name  string
+		mode  core.StepMode
+		audit int
+	}{
+		{"skipahead", core.StepSkipAhead, 0},
+		{"skipahead-audited", core.StepSkipAhead, 3},
+		{"reference-audited", core.StepReference, 3},
+	} {
+		if got := render(tc.mode, tc.audit); got != want {
+			t.Errorf("%s: rendered output differs from reference\n--- reference ---\n%s\n--- %s ---\n%s",
+				tc.name, want, tc.name, got)
+		}
+	}
+}

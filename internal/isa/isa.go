@@ -5,7 +5,10 @@
 // instruction encoding; a 32-byte cache line therefore holds 8 instructions.
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // InstBytes is the size of one instruction in bytes (Alpha AXP fixed width).
 const InstBytes = 4
@@ -121,12 +124,17 @@ func MustLineGeom(sz int) LineGeom {
 	return g
 }
 
+// shift returns log2(LineBytes). LineBytes is a power of two by contract,
+// so line arithmetic compiles to shifts and masks rather than the hardware
+// divide a variable divisor would force in the simulator's hottest loops.
+func (g LineGeom) shift() uint { return uint(bits.TrailingZeros64(uint64(g.LineBytes))) }
+
 // Line returns the line number containing a.
-func (g LineGeom) Line(a Addr) uint64 { return uint64(a) / uint64(g.LineBytes) }
+func (g LineGeom) Line(a Addr) uint64 { return uint64(a) >> g.shift() }
 
 // LineAddr returns the first byte address of the line containing a.
 func (g LineGeom) LineAddr(a Addr) Addr {
-	return Addr(g.Line(a) * uint64(g.LineBytes))
+	return a &^ Addr(g.LineBytes-1)
 }
 
 // NextLineAddr returns the first byte address of the line after the one
@@ -141,7 +149,7 @@ func (g LineGeom) InstPerLine() int { return g.LineBytes / InstBytes }
 // InstsLeftInLine returns how many instructions, including the one at a,
 // remain before the end of a's line.
 func (g LineGeom) InstsLeftInLine(a Addr) int {
-	off := int(uint64(a) % uint64(g.LineBytes))
+	off := int(uint64(a) & uint64(g.LineBytes-1))
 	return (g.LineBytes - off) / InstBytes
 }
 

@@ -26,6 +26,11 @@ type Inst struct {
 type Image struct {
 	base isa.Addr
 	code []Inst
+	// plainRun[i] is the number of consecutive Plain instructions starting
+	// at slot i (0 when slot i is a control transfer). Trace generators use
+	// it to emit whole basic-block prefixes without walking instruction by
+	// instruction.
+	plainRun []int32
 	// funcs records function entry addresses, sorted, for tooling.
 	funcs []Func
 }
@@ -100,6 +105,17 @@ func (b *Builder) Build() (*Image, error) {
 			}
 		}
 	}
+	img.plainRun = make([]int32, len(img.code))
+	for i := len(img.code) - 1; i >= 0; i-- {
+		if img.code[i].Kind != isa.Plain {
+			continue
+		}
+		run := int32(1)
+		if i+1 < len(img.code) {
+			run += img.plainRun[i+1]
+		}
+		img.plainRun[i] = run
+	}
 	return img, nil
 }
 
@@ -121,12 +137,28 @@ func (img *Image) Contains(a isa.Addr) bool {
 }
 
 // At returns the instruction at address a. It panics if a is outside the
-// image; callers on speculative paths should check Contains first.
+// image; callers on speculative paths should check Contains first. The
+// panic construction lives in a separate function so At itself stays small
+// enough to inline into fetch loops.
 func (img *Image) At(a isa.Addr) Inst {
 	if !img.Contains(a) {
-		panic(fmt.Sprintf("program: address %s outside image [%s,%s)", a, img.base, img.End()))
+		img.atPanic(a)
 	}
 	return img.code[(a-img.base)/isa.InstBytes]
+}
+
+func (img *Image) atPanic(a isa.Addr) {
+	panic(fmt.Sprintf("program: address %s outside image [%s,%s)", a, img.base, img.End()))
+}
+
+// PlainRunLen returns the number of consecutive Plain instructions starting
+// at address a (0 when a holds a control transfer). a must be inside the
+// image.
+func (img *Image) PlainRunLen(a isa.Addr) int {
+	if !img.Contains(a) {
+		img.atPanic(a)
+	}
+	return int(img.plainRun[(a-img.base)/isa.InstBytes])
 }
 
 // Funcs returns the recorded functions, sorted by entry address.

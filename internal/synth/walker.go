@@ -58,15 +58,21 @@ func (w *Walker) Next() (trace.Record, error) {
 		if !img.Contains(w.pc) {
 			return trace.Record{}, fmt.Errorf("synth: walker left the image at %s (block start %s)", w.pc, start)
 		}
-		in := img.At(w.pc)
-		n++
-		if in.Kind == isa.Plain {
-			w.pc = w.pc.Next()
-			if n >= maxPlainRun {
-				return trace.Record{Start: start, N: n, BrKind: isa.Plain}, nil
+		// Consume a whole run of plain instructions at once; record contents
+		// are identical to the per-instruction walk, including the split at
+		// maxPlainRun and the off-image error address.
+		if run := img.PlainRunLen(w.pc); run > 0 {
+			if n+run >= maxPlainRun {
+				take := maxPlainRun - n
+				w.pc = w.pc.Plus(take)
+				return trace.Record{Start: start, N: maxPlainRun, BrKind: isa.Plain}, nil
 			}
+			n += run
+			w.pc = w.pc.Plus(run)
 			continue
 		}
+		in := img.At(w.pc)
+		n++
 		rec, err := w.branch(in, start, n)
 		return rec, err
 	}

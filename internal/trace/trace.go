@@ -79,6 +79,15 @@ type Writer interface {
 	Write(Record) error
 }
 
+// PreValidated is an optional Reader refinement: a reader whose
+// PreValidatedTrace method reports true promises that every record it will
+// ever yield passes Record.Validate, letting consumers that validate records
+// one at a time (the simulation engine's loadRecord) skip the re-check.
+// Replay cursors over pre-checked record slices implement it.
+type PreValidated interface {
+	PreValidatedTrace() bool
+}
+
 // SliceReader replays an in-memory record slice. It is the reader used by
 // tests and by generators that materialize traces.
 type SliceReader struct {

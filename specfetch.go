@@ -62,6 +62,34 @@ type Config = core.Config
 // penalty.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
+// StepMode selects the engine's time-advance strategy: the next-event
+// skip-ahead core (the zero value and default) or the cycle-by-cycle
+// reference stepper. The two are bit-identical — same Result, same probe
+// event stream — which the core differential suite proves; the reference
+// stepper survives as the executable specification and a debugging aid.
+type StepMode = core.StepMode
+
+// The two engine cores, selected via Config.StepMode.
+const (
+	StepSkipAhead = core.StepSkipAhead
+	StepReference = core.StepReference
+)
+
+// ParseStepMode parses a step-mode name ("skipahead", "reference").
+func ParseStepMode(s string) (StepMode, error) { return core.ParseStepMode(s) }
+
+// StepModes lists both engine cores, skip-ahead first (the default).
+func StepModes() []StepMode { return core.StepModes() }
+
+// Arena is reusable per-run engine state: threading one arena through
+// back-to-back runs (Config.Arena) makes the steady-state simulation loop
+// allocation-free across cells. One arena must not serve two concurrent
+// engines; reuse is behaviour-neutral, results are bit-identical either way.
+type Arena = core.Arena
+
+// NewArena returns an empty arena; the first run populates it.
+func NewArena() *Arena { return core.NewArena() }
+
 // Result reports one run's measurements: cycles, per-component lost issue
 // slots, branch events, traffic, and miss counts.
 type Result = core.Result
