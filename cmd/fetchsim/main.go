@@ -2,8 +2,9 @@
 // breakdown, cache behaviour, and memory traffic. With the observability
 // flags it additionally records the run: -events dumps the probe event
 // stream as JSONL, -timeline renders a Chrome trace-event (Perfetto)
-// timeline, and -series samples an interval time-series of ISPI, miss rate,
-// and bus occupancy.
+// timeline with interval counter tracks (ISPI, miss rate, bus occupancy,
+// per-component stalls) merged in, and -series samples an interval
+// time-series of ISPI, miss rate, and bus occupancy.
 //
 // Usage:
 //
@@ -45,7 +46,7 @@ func main() {
 		eventsPath   = flag.String("events", "", "write the probe event stream as JSONL to this file")
 		timelinePath = flag.String("timeline", "", "write a Chrome trace-event (Perfetto) timeline to this file")
 		seriesPath   = flag.String("series", "", "write the interval time-series to this file (.json extension selects JSON, anything else CSV)")
-		interval     = flag.Int64("interval", 10_000, "instructions per -series sample")
+		interval     = flag.Int64("interval", 10_000, "instructions per -series sample and -timeline counter window")
 		eventCap     = flag.Int("event-cap", 1<<20, "ring-buffer capacity for -events/-timeline; oldest events drop beyond it")
 		audit        = flag.Bool("audit", false, "attach the runtime accounting auditor; any invariant violation aborts with a cycle-stamped diagnosis")
 		auditSample  = flag.Int("audit-sample", 0, "audit only every Nth pipeline window (1 = every window, implies -audit); the final identities stay exact at any rate")
@@ -124,10 +125,16 @@ func main() {
 	// so the default run keeps the nil-probe fast path.
 	var rec *specfetch.EventRecorder
 	var samp *specfetch.IntervalSampler
+	var win *specfetch.WindowSeries
 	var probes []specfetch.Probe
 	if *eventsPath != "" || *timelinePath != "" {
 		rec = specfetch.NewEventRecorder(*eventCap)
 		probes = append(probes, rec)
+	}
+	if *timelinePath != "" {
+		win = specfetch.NewWindowSeries()
+		probes = append(probes, win)
+		cfg.SampleInterval = *interval
 	}
 	if *seriesPath != "" {
 		samp = specfetch.NewIntervalSampler()
@@ -214,7 +221,7 @@ func main() {
 		}
 	}
 
-	if err := writeArtifacts(rec, samp, *eventsPath, *timelinePath, *seriesPath); err != nil {
+	if err := writeArtifacts(rec, samp, win, *eventsPath, *timelinePath, *seriesPath); err != nil {
 		fmt.Fprintf(os.Stderr, "fetchsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -231,7 +238,7 @@ func pf(format string, args ...any) {
 
 // writeArtifacts dumps the requested observability outputs.
 func writeArtifacts(rec *specfetch.EventRecorder, samp *specfetch.IntervalSampler,
-	eventsPath, timelinePath, seriesPath string) error {
+	win *specfetch.WindowSeries, eventsPath, timelinePath, seriesPath string) error {
 	writeTo := func(path string, fn func(f *os.File) error) error {
 		f, err := os.Create(path)
 		if err != nil {
@@ -255,11 +262,12 @@ func writeArtifacts(rec *specfetch.EventRecorder, samp *specfetch.IntervalSample
 	}
 	if timelinePath != "" {
 		if err := writeTo(timelinePath, func(f *os.File) error {
-			return specfetch.WriteChromeTrace(f, rec.Events())
+			return specfetch.CombinedTrace{Events: rec.Events(), Counters: win.Records()}.Write(f)
 		}); err != nil {
 			return err
 		}
-		pf("timeline               %s (open in https://ui.perfetto.dev)\n", timelinePath)
+		pf("timeline               %s (%d counter windows; open in https://ui.perfetto.dev)\n",
+			timelinePath, win.Len())
 	}
 	if seriesPath != "" {
 		asJSON := len(seriesPath) > 5 && seriesPath[len(seriesPath)-5:] == ".json"

@@ -33,6 +33,7 @@
 //	paperbench -all -metrics-addr :9090
 //	paperbench -all -workers 8 -audit-sample 16
 //	paperbench -all -remote-workers http://host1:8477,http://host2:8477
+//	paperbench -oracle -interval 10000 -intervals-out intervals.jsonl
 //	paperbench -table 6 -bench-out BENCH_head.json -bench-label head
 //	paperbench -all -host-trace host.trace.json -cpuprofile cpu.pprof
 package main
@@ -69,6 +70,9 @@ func main() {
 		seeds    = flag.Int("sensitivity", 0, "run the seed-sensitivity analysis over N dynamic streams")
 		sweep    = flag.Bool("sweep", false, "run the miss-latency sweep with crossover detection")
 		modern   = flag.Bool("modern", false, "run the datacenter-footprint study (web/db/search)")
+		oracle   = flag.Bool("oracle", false, "run the oracle-selector interval study (crossover table + per-window winner map)")
+		interval = flag.Int64("interval", 0, "window width in instructions for -oracle (0 = the default 10000)")
+		intsOut  = flag.String("intervals-out", "", "with -oracle, write the per-policy window series as JSONL to this file (input for cmd/intervals)")
 		all      = flag.Bool("all", false, "regenerate every table and figure")
 		insts    = flag.Int64("insts", 2_000_000, "instructions to simulate per benchmark")
 		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 13)")
@@ -78,6 +82,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial); output is byte-identical at every setting")
 		remoteWk = flag.String("remote-workers", "", "comma-separated sweepworker base URLs (e.g. http://host:8477,http://host:8478); serializable sweeps fan out across these processes, output stays byte-identical")
 		auditSmp = flag.Int("audit-sample", 0, "attach the accounting auditor to every simulation, checking every Nth pipeline window (1 = every window)")
+		sampleIv = flag.Int64("sample-interval", 0, "attach the interval window sampler to every simulation cell, one window per N instructions (observe-only: rendered output is byte-identical with it on or off)")
 		stepMode = flag.String("stepmode", "", "engine core for every cell: skipahead (next-event) or reference (cycle-by-cycle); empty defers to SPECFETCH_STEPMODE, then skipahead. Output bytes are identical either way")
 		benchOut = flag.String("bench-out", "", "write per-builder host-side performance aggregates as BENCH JSON to this file (input for perfdiff)")
 		benchLbl = flag.String("bench-label", "paperbench", "label recorded in the -bench-out report")
@@ -168,6 +173,12 @@ func main() {
 		Insts: *insts, Metrics: reg, Spans: spans,
 		Workers: *workers, AuditSample: *auditSmp,
 	}
+	if *sampleIv > 0 {
+		// Sampler-enabled perf runs: every cell carries a window series
+		// probe so the BENCH report prices the interval layer's overhead.
+		opt.SampleInterval = *sampleIv
+		opt.CaptureWindows = true
+	}
 	if *stepMode != "" {
 		mode, err := experiments.ParseStepMode(*stepMode)
 		if err != nil {
@@ -213,7 +224,7 @@ func main() {
 		opt.SweepLog = sweepLogger
 	}
 
-	if !*all && *table == 0 && *figure == 0 && *ablation == "" && *seeds == 0 && !*sweep && !*modern {
+	if !*all && *table == 0 && *figure == 0 && *ablation == "" && *seeds == 0 && !*sweep && !*modern && !*oracle {
 		flag.Usage()
 		exit(2)
 	}
@@ -324,6 +335,34 @@ func main() {
 	}
 
 	switch {
+	case *oracle:
+		var d *experiments.OracleData
+		collect("oracle selector", func() (err error) {
+			d, err = experiments.OracleSelectorData(opt, *interval, nil)
+			return err
+		})
+		tbl := d.CrossoverTable()
+		if *csv {
+			run(tbl.RenderCSV(os.Stdout))
+		} else {
+			run(tbl.Render(os.Stdout))
+		}
+		newline()
+		_, err := fmt.Print(d.WinnerMap())
+		run(err)
+		if *intsOut != "" {
+			f, err := os.Create(*intsOut)
+			if err != nil {
+				run(fmt.Errorf("intervals-out: %v", err))
+			}
+			if err := d.WriteJSONL(f); err != nil {
+				run(fmt.Errorf("intervals-out: %v", err))
+			}
+			if err := f.Close(); err != nil {
+				run(fmt.Errorf("intervals-out: %v", err))
+			}
+			fmt.Fprintf(os.Stderr, "paperbench: wrote interval JSONL to %s\n", *intsOut)
+		}
 	case *modern:
 		emitTable("modern study", experiments.ModernStudy)
 	case *sweep:

@@ -27,6 +27,10 @@ type Engine struct {
 	ic   *cache.ICache
 	l2   *cache.ICache // optional second level (nil when disabled)
 	bus  cache.Bus
+	// busAccCy accumulates the cycles the bus spends transferring lines
+	// (per-transfer latency, summed), feeding Snapshot.BusBusy so interval
+	// collectors can difference occupancy without consuming bus events.
+	busAccCy Cycles
 	// resumeBufs hold wrong-path fills in flight (Resume policy); the paper
 	// has exactly one, the MSHR extension several.
 	resumeBufs []cache.LineBuffer
@@ -88,9 +92,12 @@ type Engine struct {
 	nextFlushAt int64
 
 	// fastIssue gates the skip-ahead bulk plain-issue path: it requires
-	// that no per-instruction observer can fire (no probe, no access
-	// callback, no prefetch engine consuming first-reference bits). The
-	// event-jump stall and window accounting do not need it — they emit
+	// that no per-instruction observer can fire (no event probe, no access
+	// callback, no prefetch engine consuming first-reference bits). A
+	// sample-only probe (obs.SampleOnly) does not disqualify it: sampling
+	// observes counters at instruction-count boundaries, and bulk deltas
+	// are segmented at those boundaries by emitBulkSamples. The event-jump
+	// stall and window accounting do not need the gate — they emit
 	// byte-identical probe streams.
 	fastIssue bool
 	// wPow2/wShift/wMask precompute FetchWidth divisions for the bulk path;
@@ -192,7 +199,20 @@ func NewEngine(cfg Config, img *program.Image, rd trace.Reader, pred bpred.Predi
 		e.resumeBufs = make([]cache.LineBuffer, nbuf)
 		e.prefBufs = make([]cache.LineBuffer, nbuf)
 	}
-	e.fastIssue = cfg.StepMode == StepSkipAhead && cfg.Probe == nil &&
+	if cfg.Probe != nil {
+		if s, ok := cfg.Probe.(obs.Sampler); ok && cfg.SampleInterval > 0 {
+			e.sampler = s
+			e.nextSample = cfg.SampleInterval
+		}
+		// A sample-only probe promises to ignore every per-event callback,
+		// so the engine does not carry it as e.probe at all: event emission
+		// stays disabled and — below — the skip-ahead bulk path stays
+		// eligible, with bulk deltas segmented at sample boundaries.
+		if !obs.IsSampleOnly(cfg.Probe) {
+			e.probe = cfg.Probe
+		}
+	}
+	e.fastIssue = cfg.StepMode == StepSkipAhead && e.probe == nil &&
 		cfg.OnRightPathAccess == nil && !e.prefetchOn()
 	if pv, ok := rd.(trace.PreValidated); ok && pv.PreValidatedTrace() {
 		e.trustRecs = true
@@ -207,13 +227,6 @@ func NewEngine(cfg Config, img *program.Image, rd trace.Reader, pred bpred.Predi
 			e.plainMemo = cfg.Arena.takeMemo(e.ic, cfg.FetchWidth)
 		} else {
 			e.plainMemo = make([]plainBulkMemo, 1<<plainMemoBits)
-		}
-	}
-	if cfg.Probe != nil {
-		e.probe = cfg.Probe
-		if s, ok := cfg.Probe.(obs.Sampler); ok && cfg.SampleInterval > 0 {
-			e.sampler = s
-			e.nextSample = cfg.SampleInterval
 		}
 	}
 	return e, nil
@@ -318,6 +331,7 @@ func (e *Engine) emitSample(cy Cycles) {
 		RightPathAccesses: e.res.RightPathAccesses,
 		RightPathMisses:   e.res.RightPathMisses,
 		BusTransfers:      e.bus.Transfers,
+		BusBusy:           e.busAccCy,
 	})
 }
 
@@ -488,6 +502,7 @@ func (e *Engine) busStartLine(at Cycles, line uint64, haveLine bool, kind obs.Fi
 		}
 		done = e.bus.Start(at, lat)
 	}
+	e.busAccCy += done - start
 	if e.probe != nil {
 		e.probe.BusAcquire(start, line, kind)
 		e.probe.BusRelease(done)

@@ -3,6 +3,7 @@ package core
 import (
 	"specfetch/internal/isa"
 	"specfetch/internal/metrics"
+	"specfetch/internal/obs"
 )
 
 // This file is the skip-ahead half of the engine: the same machine as the
@@ -60,7 +61,10 @@ func plainMemoIdx(pc0 isa.Addr, total int) int {
 // (buffer- or victim-satisfied lookups, misses, branches, budget and flush
 // boundaries all end the run and fall back to stepCycle). It returns true
 // when it issued at least one full cycle. Callers guarantee !e.done() and
-// the fastIssue gate (no probe, no access callback, no prefetch engine).
+// the fastIssue gate (no event probe, no access callback, no prefetch
+// engine). A sample-only probe is compatible: sample boundaries that fall
+// inside the bulk delta are segmented out by emitBulkSamples rather than
+// ending the run.
 func (e *Engine) bulkPlains() bool {
 	if !e.haveRec {
 		return false
@@ -105,6 +109,12 @@ func (e *Engine) bulkPlains() bool {
 	total := cyc * w
 	ipl := e.geom.InstPerLine()
 
+	// Pre-effect state, captured for emitBulkSamples: a sample boundary
+	// inside the run must report the counters as they stood when its
+	// boundary instruction issued, not the run's final totals.
+	acc0 := e.res.RightPathAccesses
+	lastLine0, haveLast0 := e.lastInstLine, e.haveLastLine
+
 	// Memo fast path: this exact run was executed before and nothing has
 	// entered or left the cache array since, so its lines are still resident
 	// and its effects are the recorded totals. Recency updates are skipped;
@@ -121,6 +131,7 @@ func (e *Engine) bulkPlains() bool {
 			e.res.RightPathAccesses += n
 			e.lastInstLine = line0 + uint64(m.segs) - 1
 			e.haveLastLine = true
+			e.emitBulkSamples(pc0, total, acc0, lastLine0, haveLast0)
 			e.finishBulk(total, cyc)
 			return true
 		}
@@ -188,8 +199,47 @@ func (e *Engine) bulkPlains() bool {
 		}
 	}
 
+	e.emitBulkSamples(pc0, total, acc0, lastLine0, haveLast0)
 	e.finishBulk(total, cyc)
 	return true
+}
+
+// emitBulkSamples segments a bulk delta of `total` instructions starting at
+// pc0 (with the pre-run access counters and last-line state passed in) at
+// every sample boundary it straddles, emitting one interpolated snapshot per
+// boundary — exactly the snapshot the reference stepper emits right after
+// issuing the boundary instruction. Within a bulk run every lookup hits and
+// no stall, miss, or bus activity occurs, so only Cycle, Insts, and the
+// structural access count move: the boundary instruction k (1-based) issues
+// in bulk cycle (k-1)/width, and instructions 1..k reference the lines they
+// span, minus the leading segment when it continues the line the previous
+// fetch ended on. Called before finishBulk, while e.cy and e.res.Insts still
+// hold the run's starting values.
+func (e *Engine) emitBulkSamples(pc0 isa.Addr, total int, acc0 int64, lastLine0 uint64, haveLast0 bool) {
+	if e.sampler == nil {
+		return
+	}
+	insts0 := e.res.Insts
+	if insts0+int64(total) < e.nextSample {
+		return
+	}
+	line0 := e.geom.Line(pc0)
+	for ; e.nextSample <= insts0+int64(total); e.nextSample += e.cfg.SampleInterval {
+		k := e.nextSample - insts0
+		segs := int64(e.geom.Line(pc0.Plus(int(k-1))) - line0 + 1)
+		if haveLast0 && line0 == lastLine0 {
+			segs--
+		}
+		e.sampler.Sample(obs.Snapshot{
+			Cycle:             e.cy + Cycles(e.divW64(k-1)),
+			Insts:             e.nextSample,
+			Lost:              e.res.Lost,
+			RightPathAccesses: acc0 + segs,
+			RightPathMisses:   e.res.RightPathMisses,
+			BusTransfers:      e.bus.Transfers,
+			BusBusy:           e.busAccCy,
+		})
+	}
 }
 
 // finishBulk is the shared tail of a bulk issue: advance the instruction

@@ -117,13 +117,21 @@ func (w WireConfig) ToConfig() core.Config {
 // regenerates the identical program and image on any machine), the machine
 // configuration, the dynamic-stream seed, the predictor kind, the
 // instruction budget, and the audit sampling rate the worker must attach.
+//
+// CaptureWindows is the interval-analytics opt-in, added to wire v1
+// additively (omitempty; absent decodes to false, so old and new peers
+// interoperate): when set, the worker attaches an obs.WindowSeries to the
+// run — window capture crosses the wire as this flag rather than as a
+// probe, which keeps the cell serializable — and returns the records in
+// JobResult.WindowSeries. It requires a positive Config.SampleInterval.
 type JobSpec struct {
-	Profile     synth.Profile `json:"profile"`
-	Config      WireConfig    `json:"config"`
-	Seed        uint64        `json:"seed"`
-	Insts       int64         `json:"insts"`
-	Pred        string        `json:"pred,omitempty"`
-	AuditSample int           `json:"audit_sample,omitempty"`
+	Profile        synth.Profile `json:"profile"`
+	Config         WireConfig    `json:"config"`
+	Seed           uint64        `json:"seed"`
+	Insts          int64         `json:"insts"`
+	Pred           string        `json:"pred,omitempty"`
+	AuditSample    int           `json:"audit_sample,omitempty"`
+	CaptureWindows bool          `json:"capture_windows,omitempty"`
 }
 
 // Validate rejects specs a worker could not run: bad profiles, bad
@@ -147,6 +155,9 @@ func (s JobSpec) Validate() error {
 	}
 	if s.AuditSample < 0 {
 		return fmt.Errorf("distsweep: negative audit sample %d", s.AuditSample)
+	}
+	if s.CaptureWindows && s.Config.SampleInterval <= 0 {
+		return fmt.Errorf("distsweep: capture_windows requires a positive sample_interval")
 	}
 	return nil
 }
@@ -172,9 +183,15 @@ type Batch struct {
 // the AuditFinal its sampled obs.AuditProbe verified against the run. The
 // coordinator recomputes Result.AuditFinal() and rejects the batch if the
 // two disagree — a worker cannot claim an audit it did not pass.
+//
+// WindowSeries carries the job's interval window records when the spec set
+// CaptureWindows, added to wire v1 additively (omitempty; absent decodes to
+// nil): the reducer hands it to the caller untouched, and specs that do not
+// capture windows encode exactly as before.
 type JobResult struct {
-	Result core.Result    `json:"result"`
-	Audit  obs.AuditFinal `json:"audit"`
+	Result       core.Result        `json:"result"`
+	Audit        obs.AuditFinal     `json:"audit"`
+	WindowSeries []obs.WindowRecord `json:"window_series,omitempty"`
 }
 
 // SelfConsistent reports whether the result's own counters rebuild the

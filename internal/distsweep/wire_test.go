@@ -144,6 +144,43 @@ func TestWireAdditive(t *testing.T) {
 			t.Errorf("zero-telemetry result encodes %q: %s", key, raw)
 		}
 	}
+
+	// The interval-analytics extension is additive the same way: a
+	// pre-windows peer's JobSpec/JobResult still decodes with the new fields
+	// zero, and specs/results that do not capture windows encode without the
+	// new keys — so a mixed fleet only breaks if a new coordinator asks an
+	// old worker to capture, which the coordinator surfaces as missing
+	// window data, not silent corruption.
+	oldSpec := []byte(`{"profile":{},"config":{},"seed":1,"insts":100}`)
+	var spec JobSpec
+	if err := json.Unmarshal(oldSpec, &spec); err != nil {
+		t.Fatalf("old job spec encoding rejected: %v", err)
+	}
+	if spec.CaptureWindows {
+		t.Error("old job spec decoded with capture_windows set")
+	}
+	oldJR := []byte(`{"result":{},"audit":{}}`)
+	var jr JobResult
+	if err := json.Unmarshal(oldJR, &jr); err != nil {
+		t.Fatalf("old job result encoding rejected: %v", err)
+	}
+	if jr.WindowSeries != nil {
+		t.Error("old job result decoded with a window series")
+	}
+	raw, err = json.Marshal(JobSpec{Seed: 1, Insts: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("capture_windows")) {
+		t.Errorf("non-capturing spec encodes capture_windows: %s", raw)
+	}
+	raw, err = json.Marshal(JobResult{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("window_series")) {
+		t.Errorf("window-free result encodes window_series: %s", raw)
+	}
 }
 
 // checkGolden marshals v indented and compares against the golden file,
@@ -279,6 +316,16 @@ func TestJobSpecValidate(t *testing.T) {
 	bad.AuditSample = -1
 	if err := bad.Validate(); err == nil {
 		t.Error("negative audit sample accepted")
+	}
+	bad = good
+	bad.CaptureWindows = true
+	bad.Config.SampleInterval = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("capture_windows without a sample interval accepted")
+	}
+	good.CaptureWindows = true // fixture carries SampleInterval 10_000
+	if err := good.Validate(); err != nil {
+		t.Errorf("capturing spec with an interval rejected: %v", err)
 	}
 }
 

@@ -62,6 +62,17 @@ type Options struct {
 	// builders. Nil with Remote set uses a process-wide coordinator shared
 	// by every Options naming the same worker list.
 	Dispatch *distsweep.Coordinator
+	// SampleInterval, when positive, stamps Config.SampleInterval onto every
+	// cell so attached samplers (and CaptureWindows) see fixed
+	// instruction-count boundaries. Like AuditSample it is observe-only:
+	// simulated results are bit-identical with it on or off.
+	SampleInterval int64
+	// CaptureWindows returns each cell's per-interval window series
+	// (obs.WindowRecord) alongside its Result — the raw material of the
+	// interval-analytics builders. Requires a positive SampleInterval. The
+	// capture crosses the distsweep wire as a flag on the JobSpec, so
+	// window-carrying sweeps still dispatch to remote fleets.
+	CaptureWindows bool
 	// StepMode selects the engine's time-advance strategy for every cell:
 	// the skip-ahead event core (the zero value) or the cycle-by-cycle
 	// reference stepper. The two produce bit-identical results (see

@@ -4,7 +4,6 @@ import (
 	"strings"
 	"sync"
 
-	"specfetch/internal/core"
 	"specfetch/internal/distsweep"
 	"specfetch/internal/obs"
 	"specfetch/internal/synth"
@@ -60,17 +59,24 @@ func specForCell(opt Options, c runCell) (distsweep.JobSpec, bool) {
 	// the wire: the worker runs whatever mode the coordinator resolved, not
 	// its own environment default.
 	cfg.StepMode = opt.stepMode()
+	// The sampling interval travels inside the wire config (it is part of
+	// the machine configuration); window capture travels as a JobSpec flag,
+	// so a capturing cell stays probe-free and serializable.
+	if opt.SampleInterval > 0 {
+		cfg.SampleInterval = opt.SampleInterval
+	}
 	wc, err := distsweep.FromConfig(cfg)
 	if err != nil {
 		return distsweep.JobSpec{}, false
 	}
 	return distsweep.JobSpec{
-		Profile:     c.bench.Profile(),
-		Config:      wc,
-		Seed:        c.seed,
-		Insts:       opt.Insts,
-		Pred:        c.pred,
-		AuditSample: opt.AuditSample,
+		Profile:        c.bench.Profile(),
+		Config:         wc,
+		Seed:           c.seed,
+		Insts:          opt.Insts,
+		Pred:           c.pred,
+		AuditSample:    opt.AuditSample,
+		CaptureWindows: opt.CaptureWindows,
 	}, true
 }
 
@@ -80,7 +86,7 @@ func specForCell(opt Options, c runCell) (distsweep.JobSpec, bool) {
 // since only probe-carrying sweeps are affected. Results come back keyed
 // by cell index, so the caller's serial canonical-order reduction is
 // untouched: remote bytes are in-process bytes.
-func runCellsRemote(opt Options, coord *distsweep.Coordinator, cells []runCell) ([]core.Result, bool, error) {
+func runCellsRemote(opt Options, coord *distsweep.Coordinator, cells []runCell) ([]cellOut, bool, error) {
 	specs := make([]distsweep.JobSpec, len(cells))
 	for i, c := range cells {
 		s, ok := specForCell(opt, c)
@@ -99,7 +105,7 @@ func runCellsRemote(opt Options, coord *distsweep.Coordinator, cells []runCell) 
 		}
 		out := make([]distsweep.JobResult, len(res))
 		for i, r := range res {
-			out[i] = distsweep.JobResult{Result: r, Audit: r.AuditFinal()}
+			out[i] = distsweep.JobResult{Result: r.res, Audit: r.res.AuditFinal(), WindowSeries: r.windows}
 		}
 		return out, nil
 	}
@@ -115,9 +121,9 @@ func runCellsRemote(opt Options, coord *distsweep.Coordinator, cells []runCell) 
 	if err != nil {
 		return nil, true, err
 	}
-	out := make([]core.Result, len(jrs))
+	out := make([]cellOut, len(jrs))
 	for i, r := range jrs {
-		out[i] = r.Result
+		out[i] = cellOut{res: r.Result, windows: r.WindowSeries}
 	}
 	return out, true, nil
 }
@@ -178,10 +184,13 @@ func (r *JobRunner) Run(spec distsweep.JobSpec) (distsweep.JobResult, error) {
 		// threading it through Options keeps simulateCell's stamp from
 		// replacing it with this worker's environment default.
 		StepMode: cell.cfg.StepMode,
+		// Window capture crosses the wire as a spec flag (the sampling
+		// interval is already inside the wire config).
+		CaptureWindows: spec.CaptureWindows,
 	}
-	res, err := simulateLocal(cell, opt)
+	res, wins, err := simulateLocalFull(cell, opt)
 	if err != nil {
 		return distsweep.JobResult{}, err
 	}
-	return distsweep.JobResult{Result: res, Audit: res.AuditFinal()}, nil
+	return distsweep.JobResult{Result: res, Audit: res.AuditFinal(), WindowSeries: wins}, nil
 }

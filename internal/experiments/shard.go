@@ -166,6 +166,13 @@ func newCell(b *synth.Bench, cfg core.Config) runCell {
 	return runCell{bench: b, cfg: cfg, seed: defaultStreamSeed}
 }
 
+// cellOut pairs one cell's Result with its captured window series (nil
+// unless Options.CaptureWindows was set).
+type cellOut struct {
+	res     core.Result
+	windows []obs.WindowRecord
+}
+
 // runCells executes a work-list and returns results keyed by cell index.
 // With a remote fleet configured (Options.Remote/Dispatch) and every cell
 // serializable, the list is dispatched across processes; otherwise — and
@@ -173,6 +180,20 @@ func newCell(b *synth.Bench, cfg core.Config) runCell {
 // pool. Either way results land at their cell's index, so the caller's
 // serial reduction renders identical bytes.
 func runCells(opt Options, cells []runCell) ([]core.Result, error) {
+	full, err := runCellsFull(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Result, len(full))
+	for i, c := range full {
+		out[i] = c.res
+	}
+	return out, nil
+}
+
+// runCellsFull is runCells keeping each cell's window series alongside its
+// Result — the executor entry point for the interval-analytics builders.
+func runCellsFull(opt Options, cells []runCell) ([]cellOut, error) {
 	if coord := opt.coordinator(); coord != nil {
 		if res, ok, err := runCellsRemote(opt, coord, cells); ok {
 			return res, err
@@ -188,10 +209,10 @@ func runCells(opt Options, cells []runCell) ([]core.Result, error) {
 // by several cells are generated once and replayed (sharedTraces), and each
 // pool worker keeps one core.Arena so consecutive cells on it reuse queue
 // and cache storage instead of reallocating.
-func runCellsLocal(opt Options, cells []runCell) ([]core.Result, error) {
+func runCellsLocal(opt Options, cells []runCell) ([]cellOut, error) {
 	shared := sharedTraces(opt, cells)
 	arenas := make([]*core.Arena, opt.workers())
-	return mapCells(opt, len(cells), func(w, i int) (core.Result, error) {
+	return mapCells(opt, len(cells), func(w, i int) (cellOut, error) {
 		var sp obs.SpanHandle
 		if opt.Spans != nil {
 			sp = opt.Spans.Start(
@@ -204,13 +225,13 @@ func runCellsLocal(opt Options, cells []runCell) ([]core.Result, error) {
 		if s := shared[cellTraceKey(cells[i], opt)]; s != nil {
 			rd = s.reader()
 		}
-		res, err := simulateCell(cells[i], opt, rd, arenas[w])
+		res, wins, err := simulateCell(cells[i], opt, rd, arenas[w])
 		spanEnd(opt, sp)
 		if err != nil {
-			return core.Result{}, fmt.Errorf("%s/%s: %w",
+			return cellOut{}, fmt.Errorf("%s/%s: %w",
 				cells[i].bench.Profile().Name, cells[i].cfg.Policy, err)
 		}
-		return res, nil
+		return cellOut{res: res, windows: wins}, nil
 	})
 }
 
@@ -250,11 +271,11 @@ func simulate(c runCell, opt Options) (core.Result, error) {
 	}
 	jrs, err := coord.Run([]distsweep.JobSpec{spec},
 		func(int, []distsweep.JobSpec) ([]distsweep.JobResult, error) {
-			res, rerr := simulateLocal(c, opt)
+			res, wins, rerr := simulateLocalFull(c, opt)
 			if rerr != nil {
 				return nil, rerr
 			}
-			return []distsweep.JobResult{{Result: res, Audit: res.AuditFinal()}}, nil
+			return []distsweep.JobResult{{Result: res, Audit: res.AuditFinal(), WindowSeries: wins}}, nil
 		},
 		func(_ int, res []distsweep.JobResult) {
 			opt.observe(c.bench.Profile().Name, c.cfg.Policy, res[0].Result)
@@ -271,18 +292,43 @@ func simulate(c runCell, opt Options) (core.Result, error) {
 // re-surfaces them), and the final accounting identities are verified
 // before the result is accepted.
 func simulateLocal(c runCell, opt Options) (core.Result, error) {
+	res, _, err := simulateCell(c, opt, nil, nil)
+	return res, err
+}
+
+// simulateLocalFull is simulateLocal keeping the captured window series.
+func simulateLocalFull(c runCell, opt Options) (core.Result, []obs.WindowRecord, error) {
 	return simulateCell(c, opt, nil, nil)
 }
 
 // simulateCell is simulateLocal with the pool executor's reuses threaded in:
 // rd, when non-nil, is a replay cursor over the cell's (pre-generated)
 // stream; arena, when non-nil, donates storage from earlier cells on the
-// same worker. Both are behaviour-neutral.
-func simulateCell(c runCell, opt Options, rd trace.Reader, arena *core.Arena) (core.Result, error) {
+// same worker. Both are behaviour-neutral. With Options.CaptureWindows set
+// (which requires a positive sample interval) the run carries an
+// obs.WindowSeries and the records come back as the second return; a
+// sample-only series attached alone keeps the engine's bulk path enabled,
+// so capture costs the interpolated samples and nothing else.
+func simulateCell(c runCell, opt Options, rd trace.Reader, arena *core.Arena) (core.Result, []obs.WindowRecord, error) {
 	cfg := c.cfg
 	cfg.MaxInsts = opt.Insts
 	cfg.StepMode = opt.stepMode()
 	cfg.Arena = arena
+	if opt.SampleInterval > 0 {
+		cfg.SampleInterval = opt.SampleInterval
+	}
+	var win *obs.WindowSeries
+	if opt.CaptureWindows {
+		if cfg.SampleInterval <= 0 {
+			return core.Result{}, nil, fmt.Errorf("experiments: CaptureWindows requires a positive SampleInterval")
+		}
+		win = obs.NewWindowSeries()
+		if cfg.Probe != nil {
+			cfg.Probe = obs.Multi(cfg.Probe, win)
+		} else {
+			cfg.Probe = win
+		}
+	}
 	var aud *obs.AuditProbe
 	if opt.AuditSample > 0 {
 		aud = obs.NewAuditProbe(obs.AuditOptions{
@@ -298,7 +344,7 @@ func simulateCell(c runCell, opt Options, rd trace.Reader, arena *core.Arena) (c
 	}
 	mk, err := bpred.ByName(c.pred)
 	if err != nil {
-		return core.Result{}, err
+		return core.Result{}, nil, err
 	}
 	pred := mk()
 	if rd == nil {
@@ -306,13 +352,17 @@ func simulateCell(c runCell, opt Options, rd trace.Reader, arena *core.Arena) (c
 	}
 	res, err := core.Run(cfg, c.bench.Image(), rd, pred)
 	if err != nil {
-		return res, err
+		return res, nil, err
 	}
 	if aud != nil {
 		if verr := aud.Verify(res.AuditFinal()); verr != nil {
-			return res, verr
+			return res, nil, verr
 		}
 	}
 	opt.observe(c.bench.Profile().Name, cfg.Policy, res)
-	return res, nil
+	var wins []obs.WindowRecord
+	if win != nil {
+		wins = win.Records()
+	}
+	return res, wins, nil
 }

@@ -36,9 +36,11 @@ type SeriesPoint struct {
 	BusOccupancyPct float64 `json:"bus_occupancy_pct"`
 }
 
-// IntervalSampler collects a SeriesPoint per engine sample. It implements
-// Probe (listening to bus events for occupancy) and Sampler; attach it via
-// Config.Probe with a positive Config.SampleInterval.
+// IntervalSampler collects a SeriesPoint per engine sample. It is a
+// sample-only probe: every input it needs — including bus occupancy —
+// arrives in the Snapshot, so attaching it via Config.Probe (with a
+// positive Config.SampleInterval) keeps the skip-ahead bulk issue path
+// enabled.
 type IntervalSampler struct {
 	NopProbe
 
@@ -48,48 +50,37 @@ type IntervalSampler struct {
 	// will cover; prevBase is the base of the last closed interval, kept so
 	// a run-end sample that adds no instructions (only trailing stall
 	// cycles) can be merged into the last point instead of dropped.
-	base            Snapshot
-	baseBusBusy     metrics.Cycles
-	prevBase        Snapshot
-	prevBaseBusBusy metrics.Cycles
-
-	busBusy     metrics.Cycles // cumulative bus-occupied cycles
-	lastAcquire metrics.Cycles // start cycle of the in-flight transfer
+	base     Snapshot
+	prevBase Snapshot
 }
 
 // NewIntervalSampler builds an empty sampler.
 func NewIntervalSampler() *IntervalSampler { return &IntervalSampler{} }
 
-// BusAcquire tracks the start of a transfer for occupancy accounting.
-func (s *IntervalSampler) BusAcquire(cy metrics.Cycles, line uint64, kind FillKind) {
-	s.lastAcquire = cy
-}
-
-// BusRelease accumulates the completed transfer's occupancy. The engine
-// emits acquire/release pairs adjacently, so pairing by order is exact.
-func (s *IntervalSampler) BusRelease(cy metrics.Cycles) {
-	s.busBusy += cy - s.lastAcquire
-}
+// SampleOnlyProbe marks the sampler as observing via Sample alone.
+func (s *IntervalSampler) SampleOnlyProbe() {}
 
 // Sample appends one interval point covering [previous sample, snap]. A
 // snapshot that adds no instructions but does advance other counters (the
-// run-end sample after the last issue) is folded into the last point, so
-// the final point's cumulative values always match the run's Result.
+// run-end sample after the last issue, possibly cut short inside a bulk
+// region by the instruction budget) is folded into the last point by
+// rebuilding it from prevBase, so the final point's cumulative values
+// always match the run's Result and nothing is dropped or double-counted.
 func (s *IntervalSampler) Sample(snap Snapshot) {
 	if snap.Insts > s.base.Insts {
-		s.points = append(s.points, s.point(s.base, s.baseBusBusy, snap))
-		s.prevBase, s.prevBaseBusBusy = s.base, s.baseBusBusy
-		s.base, s.baseBusBusy = snap, s.busBusy
+		s.points = append(s.points, s.point(s.base, snap))
+		s.prevBase = s.base
+		s.base = snap
 		return
 	}
 	if len(s.points) > 0 && snap != s.base {
-		s.points[len(s.points)-1] = s.point(s.prevBase, s.prevBaseBusBusy, snap)
-		s.base, s.baseBusBusy = snap, s.busBusy
+		s.points[len(s.points)-1] = s.point(s.prevBase, snap)
+		s.base = snap
 	}
 }
 
 // point builds the series point for the interval from..snap.
-func (s *IntervalSampler) point(from Snapshot, fromBusBusy metrics.Cycles, snap Snapshot) SeriesPoint {
+func (s *IntervalSampler) point(from, snap Snapshot) SeriesPoint {
 	dInsts := snap.Insts - from.Insts
 	dCycles := snap.Cycle - from.Cycle
 
@@ -104,7 +95,7 @@ func (s *IntervalSampler) point(from Snapshot, fromBusBusy metrics.Cycles, snap 
 	p.CumISPI = snap.Lost.TotalISPI(snap.Insts)
 	if dCycles > 0 {
 		p.IPC = float64(dInsts) / float64(dCycles)
-		p.BusOccupancyPct = 100 * float64(s.busBusy-fromBusBusy) / float64(dCycles)
+		p.BusOccupancyPct = 100 * float64(snap.BusBusy-from.BusBusy) / float64(dCycles)
 	}
 	if dAcc := snap.RightPathAccesses - from.RightPathAccesses; dAcc > 0 {
 		p.MissPct = 100 * float64(snap.RightPathMisses-from.RightPathMisses) / float64(dAcc)

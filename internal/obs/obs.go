@@ -151,6 +151,10 @@ type Snapshot struct {
 	RightPathMisses   int64
 	// BusTransfers counts line movements over the memory bus so far.
 	BusTransfers uint64
+	// BusBusy is the cumulative number of cycles the memory bus has spent
+	// transferring lines. With pipelined memory concurrent transfers each
+	// contribute their full latency, so the total can exceed Cycle.
+	BusBusy metrics.Cycles
 }
 
 // Sampler is an optional Probe extension. When the engine's configuration
@@ -159,6 +163,23 @@ type Snapshot struct {
 // and once more at run end with the final counters.
 type Sampler interface {
 	Sample(s Snapshot)
+}
+
+// SampleOnly is an optional Probe marker: implementations promise they
+// observe the run exclusively through Sampler snapshots and ignore every
+// per-event Probe callback. The engine exploits the promise by not
+// delivering events at all and, crucially, by keeping the skip-ahead bulk
+// issue path enabled — a sample-only probe costs one boundary check per
+// issued instruction instead of disqualifying the fast core. Composites
+// (Multi) never carry the marker: any part might be a real event consumer.
+type SampleOnly interface {
+	SampleOnlyProbe()
+}
+
+// IsSampleOnly reports whether p carries the SampleOnly marker.
+func IsSampleOnly(p Probe) bool {
+	_, ok := p.(SampleOnly)
+	return ok
 }
 
 // multi fans every callback out to several probes in order.

@@ -231,20 +231,18 @@ func TestRegistryHandler(t *testing.T) {
 
 func TestIntervalSamplerPoints(t *testing.T) {
 	s := NewIntervalSampler()
-	// One 10-cycle bus transfer inside the first interval.
-	s.BusAcquire(5, 1, FillDemand)
-	s.BusRelease(15)
-
+	// One 10-cycle bus transfer inside the first interval, carried by the
+	// snapshot's cumulative BusBusy counter.
 	var lost1 metrics.Breakdown
 	lost1[metrics.RTICache] = 40
 	s.Sample(Snapshot{Cycle: 100, Insts: 200, Lost: lost1,
-		RightPathAccesses: 50, RightPathMisses: 5, BusTransfers: 1})
+		RightPathAccesses: 50, RightPathMisses: 5, BusTransfers: 1, BusBusy: 10})
 
 	var lost2 metrics.Breakdown
 	lost2[metrics.RTICache] = 40
 	lost2[metrics.Branch] = 60
 	s.Sample(Snapshot{Cycle: 150, Insts: 300, Lost: lost2,
-		RightPathAccesses: 70, RightPathMisses: 5, BusTransfers: 1})
+		RightPathAccesses: 70, RightPathMisses: 5, BusTransfers: 1, BusBusy: 10})
 
 	pts := s.Points()
 	if len(pts) != 2 {

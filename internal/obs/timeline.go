@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"specfetch/internal/metrics"
 )
 
 // traceEvent is one entry of the Chrome trace-event format
@@ -29,6 +31,7 @@ const (
 	tidResume   = 3 // resume buffer: wrong-path fills in flight
 	tidPrefetch = 4 // prefetch buffer: prefetches in flight
 	tidBranch   = 5 // branch unit: resolve/mispredict instants
+	tidCounters = 6 // interval counters: per-window ISPI, miss %, bus occupancy
 )
 
 // Trace process ids: the simulated machine and the host-side simulator
@@ -113,34 +116,58 @@ type ProcessSpans struct {
 	Spans []HostSpan
 }
 
-// WriteCombinedTrace renders a simulated-machine event stream (pid 1, one
-// track per modelled resource), host-side spans (pid 2, one track per
-// worker), and any number of remote worker processes (pids 3+, one per
-// fleet process) into a single trace file. Any part may be empty. Machine
-// timestamps are simulated cycles mapped to microseconds; host and fleet
-// timestamps are real microseconds on the coordinator's span-tracer axis —
-// the machine and the host share a file, not a clock.
-func WriteCombinedTrace(w io.Writer, events []Event, spans []HostSpan, fleet ...ProcessSpans) error {
+// CombinedTrace bundles every part of one Perfetto trace file: the
+// simulated-machine event stream (pid 1, one track per modelled resource),
+// per-window counter tracks from an interval series (pid 1, its own track),
+// host-side spans (pid 2, one track per pool worker), and remote fleet
+// processes (pids 3+). Any part may be nil. Machine timestamps — events and
+// counters both — are simulated cycles mapped to microseconds; host and
+// fleet timestamps are real microseconds on the coordinator's span-tracer
+// axis. The machine and the host share a file, not a clock.
+type CombinedTrace struct {
+	Events []Event
+	// Counters renders each WindowRecord as Perfetto counter samples at the
+	// window's closing cycle: ISPI, miss rate, bus occupancy, and one
+	// multi-series stall counter split by penalty component.
+	Counters []WindowRecord
+	Spans    []HostSpan
+	Fleet    []ProcessSpans
+}
+
+// Write renders the trace as one well-formed Chrome trace-event document.
+func (t CombinedTrace) Write(w io.Writer) error {
 	e, err := newTraceEmitter(w)
 	if err != nil {
 		return err
 	}
-	if events != nil {
-		if err := emitMachineEvents(e, events); err != nil {
+	if t.Events != nil {
+		if err := emitMachineEvents(e, t.Events); err != nil {
 			return err
 		}
 	}
-	if spans != nil {
-		if err := emitHostSpans(e, hostPid, "host", spans); err != nil {
+	if t.Counters != nil {
+		if err := emitCounterTracks(e, t.Counters, t.Events == nil); err != nil {
 			return err
 		}
 	}
-	for i, p := range fleet {
+	if t.Spans != nil {
+		if err := emitHostSpans(e, hostPid, "host", t.Spans); err != nil {
+			return err
+		}
+	}
+	for i, p := range t.Fleet {
 		if err := emitHostSpans(e, fleetPidBase+i, p.Name, p.Spans); err != nil {
 			return err
 		}
 	}
 	return e.close()
+}
+
+// WriteCombinedTrace renders machine events, host spans, and fleet
+// processes into a single trace file — the counter-free form older call
+// sites use; build a CombinedTrace directly to add counter tracks.
+func WriteCombinedTrace(w io.Writer, events []Event, spans []HostSpan, fleet ...ProcessSpans) error {
+	return CombinedTrace{Events: events, Spans: spans, Fleet: fleet}.Write(w)
 }
 
 // emitMachineEvents writes the simulated-machine process: metadata plus the
@@ -249,6 +276,54 @@ func emitMachineEvents(e *traceEmitter, events []Event) error {
 	return nil
 }
 
+// emitCounterTracks writes the interval-counter track on the machine
+// process: per window, one sample per counter series at the window's
+// closing cycle. Stall attribution goes out as a single multi-series
+// counter keyed by component name, which Perfetto stacks the way the
+// paper's ISPI figures do. withProcMeta adds the machine process_name when
+// no event stream already emitted it.
+func emitCounterTracks(e *traceEmitter, windows []WindowRecord, withProcMeta bool) error {
+	if withProcMeta {
+		if err := e.emit(traceEvent{Name: "process_name", Ph: "M", Pid: tracePid, Tid: 0,
+			Args: map[string]any{"name": "specfetch"}}); err != nil {
+			return err
+		}
+	}
+	if err := e.emit(traceEvent{Name: "thread_name", Ph: "M", Pid: tracePid, Tid: tidCounters,
+		Args: map[string]any{"name": "interval counters"}}); err != nil {
+		return err
+	}
+	for _, win := range windows {
+		base := traceEvent{Ph: "C", Ts: win.EndCycle, Pid: tracePid, Tid: tidCounters}
+		singles := []struct {
+			name string
+			val  float64
+		}{
+			{"ispi", win.ISPI()},
+			{"miss %", win.MissPct()},
+			{"bus occupancy %", win.BusOccupancyPct()},
+		}
+		for _, s := range singles {
+			ev := base
+			ev.Name = s.name
+			ev.Args = map[string]any{s.name: s.val}
+			if err := e.emit(ev); err != nil {
+				return err
+			}
+		}
+		stalls := base
+		stalls.Name = "stall ispi"
+		stalls.Args = map[string]any{}
+		for _, c := range metrics.Components() {
+			stalls.Args[c.String()] = win.CompISPI(c)
+		}
+		if err := e.emit(stalls); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // emitHostSpans writes one host-side process: a process_name, one
 // thread_name per worker seen in the span list, and one complete ("X")
 // event per span. The host pool and each remote fleet process render
@@ -277,9 +352,9 @@ func emitHostSpans(e *traceEmitter, pid int, procName string, spans []HostSpan) 
 		}
 		if err := e.emit(traceEvent{
 			Name: s.Name, Ph: "X",
-			Ts:   s.Start.Microseconds(),
-			Dur:  s.Dur.Microseconds(),
-			Pid:  pid, Tid: s.Worker + 1,
+			Ts:  s.Start.Microseconds(),
+			Dur: s.Dur.Microseconds(),
+			Pid: pid, Tid: s.Worker + 1,
 			Args: args,
 		}); err != nil {
 			return err

@@ -206,6 +206,111 @@ func TestFleetTraceWellFormed(t *testing.T) {
 	}
 }
 
+// goldenWindows is a fixed two-window series for the counter tracks.
+func goldenWindows() []WindowRecord {
+	w0 := WindowRecord{Index: 0, StartInsts: 0, EndInsts: 1000, StartCycle: 0, EndCycle: 400,
+		Accesses: 80, Misses: 4, BusTransfers: 4, BusBusy: 30}
+	w0.Lost[metrics.RTICache] = 40
+	w1 := WindowRecord{Index: 1, StartInsts: 1000, EndInsts: 2000, StartCycle: 400, EndCycle: 700,
+		Accesses: 90, Misses: 6, BusTransfers: 6, BusBusy: 45}
+	w1.Lost[metrics.RTICache] = 50
+	w1.Lost[metrics.Branch] = 10
+	return []WindowRecord{w0, w1}
+}
+
+// TestCounterTracksWellFormed renders counter tracks next to the machine
+// stream and checks the track metadata, one sample per counter series per
+// window at the window's closing cycle, and the component split on the
+// stall counter. It also pins two neutrality properties: WriteCombinedTrace
+// is byte-identical to a counter-free CombinedTrace (old call sites cannot
+// drift), and a counters-only trace still names the machine process.
+func TestCounterTracksWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	tr := CombinedTrace{Events: goldenEvents(), Counters: goldenWindows(), Spans: goldenSpans()}
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	counterName := ""
+	samples := map[string][]float64{} // series name -> sample timestamps
+	var stallArgs map[string]any
+	for _, ev := range doc.TraceEvents {
+		pid := int(ev["pid"].(float64))
+		tid, _ := ev["tid"].(float64)
+		ph, _ := ev["ph"].(string)
+		name, _ := ev["name"].(string)
+		if pid != 1 || int(tid) != 6 {
+			continue
+		}
+		if ph == "M" && name == "thread_name" {
+			args, _ := ev["args"].(map[string]any)
+			counterName, _ = args["name"].(string)
+			continue
+		}
+		if ph != "C" {
+			t.Errorf("non-counter event on the counter track: %v", ev)
+			continue
+		}
+		ts, _ := ev["ts"].(float64)
+		samples[name] = append(samples[name], ts)
+		if name == "stall ispi" && stallArgs == nil {
+			stallArgs, _ = ev["args"].(map[string]any)
+		}
+	}
+	if counterName != "interval counters" {
+		t.Errorf("counter track named %q, want %q", counterName, "interval counters")
+	}
+	wins := goldenWindows()
+	for _, series := range []string{"ispi", "miss %", "bus occupancy %", "stall ispi"} {
+		ts := samples[series]
+		if len(ts) != len(wins) {
+			t.Errorf("series %q has %d samples, want %d", series, len(ts), len(wins))
+			continue
+		}
+		for i, w := range wins {
+			if ts[i] != float64(w.EndCycle) {
+				t.Errorf("series %q sample %d at ts %v, want window close %d", series, i, ts[i], w.EndCycle)
+			}
+		}
+	}
+	if len(stallArgs) != int(metrics.NumComponents) {
+		t.Errorf("stall counter carries %d series, want one per component (%d): %v",
+			len(stallArgs), metrics.NumComponents, stallArgs)
+	}
+	for _, c := range metrics.Components() {
+		if _, ok := stallArgs[c.String()]; !ok {
+			t.Errorf("stall counter missing component %q", c)
+		}
+	}
+
+	var viaFunc, viaStruct bytes.Buffer
+	if err := WriteCombinedTrace(&viaFunc, goldenEvents(), goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if err := (CombinedTrace{Events: goldenEvents(), Spans: goldenSpans()}).Write(&viaStruct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaFunc.Bytes(), viaStruct.Bytes()) {
+		t.Error("counter-free CombinedTrace diverges from WriteCombinedTrace bytes")
+	}
+
+	buf.Reset()
+	if err := (CombinedTrace{Counters: goldenWindows()}).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"name":"specfetch"`) {
+		t.Error("counters-only trace does not name the machine process")
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("counters-only output is not valid JSON: %v", err)
+	}
+}
+
 // TestChromeTraceWellFormed checks structural properties a viewer depends
 // on, independent of the exact golden bytes.
 func TestChromeTraceWellFormed(t *testing.T) {

@@ -209,6 +209,20 @@ func NewIntervalSampler() *IntervalSampler { return obs.NewIntervalSampler() }
 // SeriesPoint is one interval sample of a run's time series.
 type SeriesPoint = obs.SeriesPoint
 
+// WindowSeries captures one WindowRecord per sample interval — the aligned
+// per-policy window store the interval-analytics layer is built on. Like
+// IntervalSampler it is sample-only: attached alone it keeps the skip-ahead
+// engine's bulk path enabled.
+type WindowSeries = obs.WindowSeries
+
+// NewWindowSeries builds an empty window store; set Config.SampleInterval
+// to choose the window width in instructions.
+func NewWindowSeries() *WindowSeries { return obs.NewWindowSeries() }
+
+// WindowRecord is one fixed-instruction-count window of a run in raw-int64
+// wire form, with derived ISPI/miss/occupancy accessors.
+type WindowRecord = obs.WindowRecord
+
 // Snapshot is the cumulative-counters view delivered to samplers.
 type Snapshot = obs.Snapshot
 
@@ -279,6 +293,12 @@ type FleetProcessSpans = obs.ProcessSpans
 func WriteCombinedTrace(w io.Writer, events []Event, spans []HostSpan, fleet ...FleetProcessSpans) error {
 	return obs.WriteCombinedTrace(w, events, spans, fleet...)
 }
+
+// CombinedTrace is the full Perfetto trace bundle: machine events, interval
+// counter tracks (per-window ISPI, miss rate, bus occupancy, stall
+// components), host spans, and fleet processes; Write renders any subset
+// into one file.
+type CombinedTrace = obs.CombinedTrace
 
 // RunWithProbe is Run with an attached probe and sampling interval — a
 // convenience for callers that do not want to touch Config fields.
