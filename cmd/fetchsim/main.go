@@ -10,6 +10,7 @@
 //
 //	fetchsim -bench gcc -policy resume -insts 2000000
 //	fetchsim -bench groff -policy pessimistic -penalty 20 -prefetch
+//	fetchsim -bench porky -policy adaptive -strategy phase:6 -adapt-interval 2500 -flush 15000
 //	fetchsim -bench li -policy optimistic -cache 32768 -depth 2
 //	fetchsim -image prog.img -trace prog.trc -policy resume
 //	fetchsim -bench gcc -policy resume -timeline out.json -series ispi.csv
@@ -32,7 +33,7 @@ func main() {
 		benchName = flag.String("bench", "gcc", "benchmark profile name (see -list)")
 		imagePath = flag.String("image", "", "static image file (with -trace, replaces -bench)")
 		tracePath = flag.String("trace", "", "trace file to replay against -image")
-		policyStr = flag.String("policy", "resume", "fetch policy: oracle|optimistic|resume|pessimistic|decode")
+		policyStr = flag.String("policy", "resume", "fetch policy: oracle|optimistic|resume|pessimistic|decode|adaptive")
 		insts     = flag.Int64("insts", 2_000_000, "correct-path instructions to simulate")
 		penalty   = flag.Int("penalty", 5, "I-cache miss penalty in cycles")
 		cacheSz   = flag.Int("cache", 8*1024, "I-cache size in bytes")
@@ -42,6 +43,11 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "dynamic trace stream seed")
 		stepMode  = flag.String("stepmode", "skipahead", "engine core: skipahead (next-event, default) or reference (cycle-by-cycle); results are bit-identical")
 		list      = flag.Bool("list", false, "list benchmark profiles and exit")
+
+		strategy  = flag.String("strategy", "tournament", "chooser strategy for -policy adaptive: tournament|ucb|egreedy|phase:<period>|pinned:<policy>")
+		adaptIv   = flag.Int64("adapt-interval", 10_000, "decision-window width in instructions for -policy adaptive")
+		adaptSeed = flag.Uint64("adapt-seed", 0, "seed for randomized adaptive strategies (egreedy)")
+		flushIv   = flag.Int64("flush", 0, "invalidate the I-cache every N correct-path instructions, modeling periodic context switches (0 = never)")
 
 		eventsPath   = flag.String("events", "", "write the probe event stream as JSONL to this file")
 		timelinePath = flag.String("timeline", "", "write a Chrome trace-event (Perfetto) timeline to this file")
@@ -120,6 +126,18 @@ func main() {
 	cfg.FetchWidth = *width
 	cfg.NextLinePrefetch = *prefetch
 	cfg.StepMode = mode
+	cfg.FlushInterval = *flushIv
+	if pol == specfetch.Adaptive {
+		ch, err := specfetch.NewChooser(*strategy, *adaptSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fetchsim: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Chooser = ch
+		cfg.AdaptStrategy = *strategy
+		cfg.AdaptInterval = *adaptIv
+		cfg.AdaptSeed = *adaptSeed
+	}
 
 	// Observability: attach a recorder and/or sampler only when asked for,
 	// so the default run keeps the nil-probe fast path.
@@ -194,7 +212,12 @@ func main() {
 	pf("benchmark    %s\n", benchLabel)
 	pf("machine      %d-wide, depth %d, %dB I-cache, %d-cycle miss penalty, prefetch=%v\n",
 		cfg.FetchWidth, cfg.MaxUnresolved, cfg.ICache.SizeBytes, cfg.MissPenalty, cfg.NextLinePrefetch)
-	pf("policy       %s\n", pol)
+	if pol == specfetch.Adaptive {
+		pf("policy       %s (strategy %s, window %d insts, %d switches)\n",
+			pol, *strategy, *adaptIv, res.PolicySwitches)
+	} else {
+		pf("policy       %s\n", pol)
+	}
 	pf("instructions %d  cycles %d  IPC %.3f\n", res.Insts, res.Cycles, res.IPC())
 	pf("total ISPI   %.4f\n", res.TotalISPI())
 	for _, c := range specfetch.Components() {

@@ -34,6 +34,7 @@
 //	paperbench -all -workers 8 -audit-sample 16
 //	paperbench -all -remote-workers http://host1:8477,http://host2:8477
 //	paperbench -oracle -interval 10000 -intervals-out intervals.jsonl
+//	paperbench -adaptive -strategy phase:6 -interval 2500 -flush-interval 15000 -insts 20000000
 //	paperbench -table 6 -bench-out BENCH_head.json -bench-label head
 //	paperbench -all -host-trace host.trace.json -cpuprofile cpu.pprof
 package main
@@ -71,7 +72,11 @@ func main() {
 		sweep    = flag.Bool("sweep", false, "run the miss-latency sweep with crossover detection")
 		modern   = flag.Bool("modern", false, "run the datacenter-footprint study (web/db/search)")
 		oracle   = flag.Bool("oracle", false, "run the oracle-selector interval study (crossover table + per-window winner map)")
-		interval = flag.Int64("interval", 0, "window width in instructions for -oracle (0 = the default 10000)")
+		adaptive = flag.Bool("adaptive", false, "run the adaptive meta-policy study: online chooser vs best static vs oracle selector (crossover table + winner map)")
+		strategy = flag.String("strategy", "phase:6", "chooser strategy for -adaptive: tournament|ucb|egreedy|phase:<period>|pinned:<policy>")
+		adaptSd  = flag.Uint64("adapt-seed", 0, "seed for randomized -adaptive strategies (egreedy)")
+		flushIv  = flag.Int64("flush-interval", 0, "invalidate each cell's I-cache every N correct-path instructions in the -oracle and -adaptive studies, modeling periodic context switches (0 = never)")
+		interval = flag.Int64("interval", 0, "window width in instructions for -oracle and -adaptive (0 = the default 10000)")
 		intsOut  = flag.String("intervals-out", "", "with -oracle, write the per-policy window series as JSONL to this file (input for cmd/intervals)")
 		all      = flag.Bool("all", false, "regenerate every table and figure")
 		insts    = flag.Int64("insts", 2_000_000, "instructions to simulate per benchmark")
@@ -224,7 +229,7 @@ func main() {
 		opt.SweepLog = sweepLogger
 	}
 
-	if !*all && *table == 0 && *figure == 0 && *ablation == "" && *seeds == 0 && !*sweep && !*modern && !*oracle {
+	if !*all && *table == 0 && *figure == 0 && *ablation == "" && *seeds == 0 && !*sweep && !*modern && !*oracle && !*adaptive {
 		flag.Usage()
 		exit(2)
 	}
@@ -335,7 +340,24 @@ func main() {
 	}
 
 	switch {
+	case *adaptive:
+		opt.FlushInterval = *flushIv
+		var d *experiments.AdaptiveData
+		collect("adaptive study", func() (err error) {
+			d, err = experiments.AdaptiveStudyData(opt, *strategy, *adaptSd, *interval, nil)
+			return err
+		})
+		tbl := d.CrossoverTable()
+		if *csv {
+			run(tbl.RenderCSV(os.Stdout))
+		} else {
+			run(tbl.Render(os.Stdout))
+		}
+		newline()
+		_, err := fmt.Print(d.WinnerMap())
+		run(err)
 	case *oracle:
+		opt.FlushInterval = *flushIv
 		var d *experiments.OracleData
 		collect("oracle selector", func() (err error) {
 			d, err = experiments.OracleSelectorData(opt, *interval, nil)

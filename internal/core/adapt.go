@@ -1,0 +1,83 @@
+package core
+
+import "specfetch/internal/metrics"
+
+// The Adaptive meta-policy's decision plane. The engine slices an adaptive
+// run into fixed instruction-count windows (Config.AdaptInterval wide) and,
+// at every boundary, hands the window's counter deltas to a Chooser, which
+// answers with the static policy to run next. The digest deliberately
+// exposes only information a real machine has at runtime — its own lost
+// slots, miss counts, and bus occupancy — never oracle knowledge; the
+// oracle selector (internal/experiments) stays the unreachable bound the
+// chooser is measured against.
+//
+// Boundaries are defined on the correct-path instruction count, the same
+// axis the interval sampler uses, so adaptive windows align with
+// obs.WindowSeries windows at equal widths. A decision takes effect
+// immediately: the instruction that crossed the boundary has issued, and
+// every subsequent miss (correct- or wrong-path) is handled under the new
+// policy. In the skip-ahead core a boundary can fall inside a bulk-issued
+// region of plain cache-resident instructions; no miss handling happens
+// there, so the engine interpolates the digest at the boundary instruction
+// (only cycle, instruction, and access counts move inside such a region)
+// and defers the active-policy write to the end of the region — the chooser
+// sees bit-identical inputs in both step modes, which the differential
+// suite verifies.
+
+// AdaptWindow is one decision window's digest: counter deltas over the last
+// AdaptInterval correct-path instructions, plus which policy was active
+// while they were accumulated.
+type AdaptWindow struct {
+	// Index is the 0-based window ordinal.
+	Index int64
+	// StartInsts/EndInsts are the window's instruction-count boundaries.
+	StartInsts, EndInsts int64
+	// Cycles is the simulated time the window took.
+	Cycles Cycles
+	// Lost is the per-component lost-slot breakdown accumulated in the
+	// window.
+	Lost metrics.Breakdown
+	// Accesses/Misses count the window's structural correct-path line
+	// references and how many of them missed.
+	Accesses, Misses int64
+	// BusBusy is the bus occupancy (transfer cycles) added in the window.
+	BusBusy Cycles
+	// Active is the static policy that produced these numbers.
+	Active Policy
+}
+
+// Insts returns the window's instruction count.
+func (w AdaptWindow) Insts() int64 { return w.EndInsts - w.StartInsts }
+
+// LostPerInst returns the window's issue slots lost per instruction — the
+// per-window ISPI the choosers rank policies by.
+func (w AdaptWindow) LostPerInst() float64 {
+	return w.Lost.TotalISPI(w.Insts())
+}
+
+// MissRate returns the window's correct-path misses per instruction.
+func (w AdaptWindow) MissRate() float64 {
+	if n := w.Insts(); n > 0 {
+		return float64(w.Misses) / float64(n)
+	}
+	return 0
+}
+
+// Chooser is the pluggable selection strategy behind the Adaptive policy.
+// Implementations live in internal/adaptive (core defines only the
+// interface, so the dependency arrow stays adaptive → core).
+//
+// A Chooser must be deterministic — same seed, same window sequence, same
+// decisions — and must not consult wall clocks or global randomness
+// (internal/xrand is the sanctioned generator). Both First and Decide must
+// return static policies (Policy.IsStatic); the engine treats anything else
+// as a programming error.
+type Chooser interface {
+	// First returns the policy to start the run under, before any window
+	// has completed.
+	First() Policy
+	// Decide consumes one completed window and returns the policy for the
+	// next window (possibly the same one). It is called exactly once per
+	// boundary, in window order.
+	Decide(w AdaptWindow) Policy
+}

@@ -120,6 +120,29 @@ type Config struct {
 	// 0 disables sampling.
 	SampleInterval int64
 
+	// AdaptInterval is the Adaptive meta-policy's decision-window width in
+	// correct-path instructions: the chooser re-decides at every multiple.
+	// Required (positive) when Policy is Adaptive, ignored otherwise.
+	AdaptInterval int64
+
+	// AdaptStrategy names the chooser strategy for adaptive runs
+	// ("tournament", "ucb", ...; see internal/adaptive). It is data, not
+	// code, so it crosses the distsweep wire and a remote worker rebuilds
+	// the identical chooser. Ignored when a Chooser is attached directly.
+	AdaptStrategy string
+
+	// AdaptSeed seeds randomized strategies (via internal/xrand). Runs with
+	// equal seeds are bit-identical; different seeds legitimately diverge.
+	AdaptSeed uint64
+
+	// Chooser is the constructed strategy instance driving the Adaptive
+	// policy. In-process-only, like Probe and Arena: it never crosses the
+	// distsweep wire (workers rebuild one from AdaptStrategy/AdaptSeed),
+	// and a Chooser must not serve two concurrent engines. Required when
+	// Policy is Adaptive and the engine is built directly; the experiments
+	// executor constructs one from AdaptStrategy when it is nil.
+	Chooser Chooser
+
 	// StepMode selects the time-advance engine: the next-event skip-ahead
 	// core (the zero value, and the default) or the legacy cycle-by-cycle
 	// reference stepper. The two are bit-identical — same Result, same
@@ -178,6 +201,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative flush interval %d", c.FlushInterval)
 	case c.SampleInterval < 0:
 		return fmt.Errorf("core: negative sample interval %d", c.SampleInterval)
+	case c.AdaptInterval < 0:
+		return fmt.Errorf("core: negative adapt interval %d", c.AdaptInterval)
+	case c.Policy == Adaptive && c.AdaptInterval == 0:
+		return fmt.Errorf("core: adaptive policy requires a positive adapt interval")
+	case c.Policy != Adaptive && c.Chooser != nil:
+		return fmt.Errorf("core: chooser attached to non-adaptive policy %v", c.Policy)
 	case c.StepMode < 0 || c.StepMode >= numStepModes:
 		return fmt.Errorf("core: invalid step mode %d", int(c.StepMode))
 	}

@@ -115,6 +115,20 @@ type Engine struct {
 	// nil otherwise.
 	plainMemo []plainBulkMemo
 
+	// active is the static policy currently steering miss handling. It
+	// equals cfg.Policy for static runs; under Adaptive it starts at the
+	// chooser's First pick and is rewritten at every decision boundary.
+	// Policy consultations in the engine read active, never cfg.Policy.
+	active Policy
+	// chooser, when non-nil, is consulted every cfg.AdaptInterval
+	// correct-path instructions (Adaptive policy only).
+	chooser   Chooser
+	nextAdapt int64
+	adaptIdx  int64
+	// adaptPrev snapshots the counters at the last decision boundary, so
+	// each AdaptWindow is a pure delta.
+	adaptPrev adaptMark
+
 	// probe receives instrumentation callbacks; nil disables them, and
 	// every call site is guarded so the nil path costs one branch.
 	probe obs.Probe
@@ -129,6 +143,16 @@ type Engine struct {
 
 // maxCycles is a sentinel beyond any reachable simulation time.
 const maxCycles = Cycles(1) << 62
+
+// adaptMark is the counter snapshot at an adaptive decision boundary.
+type adaptMark struct {
+	insts int64
+	cy    Cycles
+	lost  metrics.Breakdown
+	acc   int64
+	miss  int64
+	busCy Cycles
+}
 
 // btbUpdate is a decode-time speculative BTB insertion.
 type btbUpdate struct {
@@ -170,6 +194,19 @@ func NewEngine(cfg Config, img *program.Image, rd trace.Reader, pred bpred.Predi
 		geom: isa.LineGeom{LineBytes: cfg.ICache.LineBytes},
 	}
 	e.res.Policy = cfg.Policy
+	e.active = cfg.Policy
+	if cfg.Policy == Adaptive {
+		if cfg.Chooser == nil {
+			return nil, errors.New("core: adaptive policy requires a Chooser (build one from Config.AdaptStrategy via internal/adaptive)")
+		}
+		e.chooser = cfg.Chooser
+		first := e.chooser.First()
+		if !first.IsStatic() {
+			return nil, fmt.Errorf("core: chooser First() returned non-static policy %v", first)
+		}
+		e.active = first
+		e.nextAdapt = cfg.AdaptInterval
+	}
 	e.lastIssueCy = -Cycles(cfg.DecodeLatency) // nothing pending at t=0
 	e.nextUpdAt = maxCycles
 	if cfg.RASDepth > 0 {
@@ -787,6 +824,9 @@ func (e *Engine) stepCycle() {
 			e.emitSample(e.cy)
 			e.nextSample += e.cfg.SampleInterval
 		}
+		if e.chooser != nil && e.res.Insts >= e.nextAdapt {
+			e.adaptAt(e.cy, e.res.Insts, e.res.RightPathAccesses)
+		}
 		e.consumeInst()
 
 		if in.kind.IsBranch() {
@@ -870,6 +910,48 @@ func (e *Engine) tryPrefetch(now Cycles) {
 	}
 }
 
+// adaptAt fires one Adaptive decision boundary: it digests the window that
+// just closed (ending at the boundary instruction's cycle/instruction/access
+// coordinates — interpolated by the caller when the boundary fell inside a
+// bulk-issued region) and installs the chooser's pick as the active policy.
+// Lost, miss, and bus counters come straight from e.res: inside a bulk
+// region they cannot have moved since the boundary, and outside one they are
+// exact.
+func (e *Engine) adaptAt(cy Cycles, insts, acc int64) {
+	var lost metrics.Breakdown
+	for i := range lost {
+		lost[i] = e.res.Lost[i] - e.adaptPrev.lost[i]
+	}
+	next := e.chooser.Decide(AdaptWindow{
+		Index:      e.adaptIdx,
+		StartInsts: e.adaptPrev.insts,
+		EndInsts:   insts,
+		Cycles:     cy - e.adaptPrev.cy,
+		Lost:       lost,
+		Accesses:   acc - e.adaptPrev.acc,
+		Misses:     e.res.RightPathMisses - e.adaptPrev.miss,
+		BusBusy:    e.busAccCy - e.adaptPrev.busCy,
+		Active:     e.active,
+	})
+	if !next.IsStatic() {
+		panic(fmt.Sprintf("core: chooser Decide() returned non-static policy %v", next))
+	}
+	if next != e.active {
+		e.active = next
+		e.res.PolicySwitches++
+	}
+	e.adaptIdx++
+	e.adaptPrev = adaptMark{
+		insts: insts,
+		cy:    cy,
+		lost:  e.res.Lost,
+		acc:   acc,
+		miss:  e.res.RightPathMisses,
+		busCy: e.busAccCy,
+	}
+	e.nextAdapt += e.cfg.AdaptInterval
+}
+
 // handleRightPathMiss models a demand miss on the correct path at the
 // current cycle, after slotsIssued instructions already issued this cycle.
 func (e *Engine) handleRightPathMiss(line uint64, slotsIssued int) {
@@ -880,7 +962,7 @@ func (e *Engine) handleRightPathMiss(line uint64, slotsIssued int) {
 
 	// Policy gating before the fill may start.
 	gate := now
-	switch e.cfg.Policy {
+	switch e.active {
 	case Pessimistic:
 		if g := e.lastIssueCy + Cycles(e.cfg.DecodeLatency); g > gate {
 			gate = g
@@ -894,6 +976,10 @@ func (e *Engine) handleRightPathMiss(line uint64, slotsIssued int) {
 		}
 	case Oracle, Optimistic, Resume:
 		// No gate: the fill starts as soon as the bus allows.
+	case Adaptive:
+		// Unreachable: the engine resolves Adaptive to a static active
+		// policy at construction and every boundary.
+		panic("core: adaptive meta-policy leaked into miss handling")
 	}
 
 	fillStart := gate

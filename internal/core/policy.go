@@ -9,7 +9,10 @@
 // the live branch predictor, exactly as a real fetch unit would.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Policy selects how I-cache misses encountered during speculative execution
 // are handled (paper Table 1).
@@ -36,6 +39,11 @@ const (
 	// Decode holds a miss only until the previous instructions have
 	// decoded, guarding against misfetches but not mispredicts.
 	Decode
+	// Adaptive is the online meta-policy: a Chooser (see Config.Chooser and
+	// internal/adaptive) re-selects one of the five static policies at every
+	// AdaptInterval instructions, steering miss handling per program phase.
+	// It is not one of the paper's policies and is excluded from Policies().
+	Adaptive
 
 	numPolicies
 )
@@ -46,6 +54,7 @@ var policyNames = [numPolicies]string{
 	Resume:      "resume",
 	Pessimistic: "pessimistic",
 	Decode:      "decode",
+	Adaptive:    "adaptive",
 }
 
 // String returns the lower-case policy name.
@@ -56,19 +65,29 @@ func (p Policy) String() string {
 	return fmt.Sprintf("policy(%d)", int(p))
 }
 
-// ParsePolicy is the inverse of Policy.String.
+// ParsePolicy is the inverse of Policy.String. Chooser strategy names
+// ("tournament", "ucb", ...) are deliberately not policies: they select how
+// the Adaptive policy decides, not what the fetch unit does on a miss.
 func ParsePolicy(s string) (Policy, error) {
 	for i, n := range policyNames {
 		if n == s {
 			return Policy(i), nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown policy %q", s)
+	return 0, fmt.Errorf("core: unknown policy %q (valid: %s)", s, strings.Join(policyNames[:], ", "))
 }
 
-// Policies lists all policies in the paper's presentation order.
+// Policies lists the paper's five static policies in presentation order.
+// Adaptive is excluded: every sweep that iterates Policies() compares the
+// paper's machines, and the meta-policy is requested explicitly.
 func Policies() []Policy {
 	return []Policy{Oracle, Optimistic, Resume, Pessimistic, Decode}
+}
+
+// IsStatic reports whether p is one of the five directly simulatable miss
+// policies — the only values a Chooser may return.
+func (p Policy) IsStatic() bool {
+	return p >= 0 && p < Adaptive
 }
 
 // servicesWrongPathMisses reports whether the policy ever initiates a memory

@@ -43,6 +43,9 @@ type Result struct {
 	CondBranches int64
 	// Branches counts all correct-path branches.
 	Branches int64
+	// PolicySwitches counts the Adaptive meta-policy's active-policy changes
+	// (always 0 for static runs and for choosers that never move).
+	PolicySwitches int64
 }
 
 // TotalISPI returns the total penalty in issue slots lost per correct-path

@@ -132,6 +132,7 @@ func (e *Engine) bulkPlains() bool {
 			e.lastInstLine = line0 + uint64(m.segs) - 1
 			e.haveLastLine = true
 			e.emitBulkSamples(pc0, total, acc0, lastLine0, haveLast0)
+			e.emitBulkAdapt(pc0, total, acc0, lastLine0, haveLast0)
 			e.finishBulk(total, cyc)
 			return true
 		}
@@ -200,6 +201,7 @@ func (e *Engine) bulkPlains() bool {
 	}
 
 	e.emitBulkSamples(pc0, total, acc0, lastLine0, haveLast0)
+	e.emitBulkAdapt(pc0, total, acc0, lastLine0, haveLast0)
 	e.finishBulk(total, cyc)
 	return true
 }
@@ -239,6 +241,35 @@ func (e *Engine) emitBulkSamples(pc0 isa.Addr, total int, acc0 int64, lastLine0 
 			BusTransfers:      e.bus.Transfers,
 			BusBusy:           e.busAccCy,
 		})
+	}
+}
+
+// emitBulkAdapt fires the Adaptive decision boundaries a bulk delta
+// straddles, interpolating each boundary's cycle and access coordinates with
+// the same closed forms emitBulkSamples uses (within a bulk run only Cycle,
+// Insts, and the structural access count move — no miss, stall, or bus
+// activity, and crucially no policy consultation). Deferring the active-
+// policy writes to here is therefore behaviour-identical to the reference
+// stepper's mid-stream switches, while the chooser still sees the exact
+// per-boundary digests it would see there. Called before finishBulk, while
+// e.cy and e.res.Insts still hold the run's starting values.
+func (e *Engine) emitBulkAdapt(pc0 isa.Addr, total int, acc0 int64, lastLine0 uint64, haveLast0 bool) {
+	if e.chooser == nil {
+		return
+	}
+	insts0 := e.res.Insts
+	if insts0+int64(total) < e.nextAdapt {
+		return
+	}
+	line0 := e.geom.Line(pc0)
+	// adaptAt advances e.nextAdapt by the adapt interval on every call.
+	for e.nextAdapt <= insts0+int64(total) {
+		k := e.nextAdapt - insts0
+		segs := int64(e.geom.Line(pc0.Plus(int(k-1))) - line0 + 1)
+		if haveLast0 && line0 == lastLine0 {
+			segs--
+		}
+		e.adaptAt(e.cy+Cycles(e.divW64(k-1)), e.nextAdapt, acc0+segs)
 	}
 }
 

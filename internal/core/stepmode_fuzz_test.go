@@ -41,7 +41,9 @@ func fuzzConfig(bits uint64) Config {
 		return v
 	}
 	cfg := DefaultConfig()
-	cfg.Policy = Policy(take(3) % uint64(numPolicies))
+	// Static policies only: Adaptive needs a chooser, and its bulk-boundary
+	// equivalence has its own differential suite (adapt_test.go).
+	cfg.Policy = Policies()[take(3)%uint64(len(Policies()))]
 	cfg.FetchWidth = int(take(3)) + 1    // 1..8, non-powers of two included
 	cfg.MaxUnresolved = int(take(2)) + 1 // 1..4
 	cfg.MissPenalty = int(take(5)) + 1   // 1..32

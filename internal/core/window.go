@@ -296,7 +296,7 @@ func (e *Engine) handleWrongPathMiss(line uint64, wc Cycles, misfetchPhase bool,
 	if e.probe != nil {
 		e.probe.MissStart(wc, line, true)
 	}
-	switch e.cfg.Policy {
+	switch e.active {
 	case Oracle, Pessimistic:
 		// Never serviced: Oracle knows the path is wrong; Pessimistic's
 		// resolve gate outlives the window, after which the miss is
@@ -351,5 +351,10 @@ func (e *Engine) handleWrongPathMiss(line uint64, wc Cycles, misfetchPhase bool,
 		// The wrong path itself still waits (the line is not there), but
 		// the correct path is free to resume at the redirect.
 		st.fillWaitUntil = done
+
+	case Adaptive:
+		// Unreachable: the engine resolves Adaptive to a static active
+		// policy at construction and every boundary.
+		panic("core: adaptive meta-policy leaked into wrong-path miss handling")
 	}
 }

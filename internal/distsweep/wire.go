@@ -14,6 +14,7 @@ package distsweep
 import (
 	"fmt"
 
+	"specfetch/internal/adaptive"
 	"specfetch/internal/bpred"
 	"specfetch/internal/cache"
 	"specfetch/internal/core"
@@ -52,6 +53,16 @@ type WireConfig struct {
 	FlushInterval    int64         `json:"flush_interval,omitempty"`
 	SampleInterval   int64         `json:"sample_interval,omitempty"`
 	StepMode         core.StepMode `json:"step_mode,omitempty"`
+
+	// AdaptStrategy, AdaptInterval, and AdaptSeed carry the Adaptive
+	// meta-policy across the wire, added to wire v1 additively (omitempty;
+	// absent fields decode to zero values, so static-policy specs encode
+	// exactly as before). The chooser itself never crosses the wire: the
+	// worker rebuilds it from the strategy name and seed (internal/adaptive),
+	// which is what makes remote adaptive runs byte-identical to local ones.
+	AdaptStrategy string `json:"adapt_strategy,omitempty"`
+	AdaptInterval int64  `json:"adapt_interval,omitempty"`
+	AdaptSeed     uint64 `json:"adapt_seed,omitempty"`
 }
 
 // FromConfig flattens a core.Config into its wire mirror. It fails when the
@@ -64,6 +75,10 @@ func FromConfig(c core.Config) (WireConfig, error) {
 	}
 	if c.OnRightPathAccess != nil {
 		return WireConfig{}, fmt.Errorf("distsweep: config carries OnRightPathAccess; not serializable")
+	}
+	if c.Chooser != nil {
+		return WireConfig{}, fmt.Errorf("distsweep: config carries a constructed Chooser; " +
+			"ship AdaptStrategy/AdaptSeed and let the worker rebuild it")
 	}
 	return WireConfig{
 		Policy:           c.Policy,
@@ -84,6 +99,9 @@ func FromConfig(c core.Config) (WireConfig, error) {
 		FlushInterval:    c.FlushInterval,
 		SampleInterval:   c.SampleInterval,
 		StepMode:         c.StepMode,
+		AdaptStrategy:    c.AdaptStrategy,
+		AdaptInterval:    c.AdaptInterval,
+		AdaptSeed:        c.AdaptSeed,
 	}, nil
 }
 
@@ -110,6 +128,9 @@ func (w WireConfig) ToConfig() core.Config {
 		FlushInterval:    w.FlushInterval,
 		SampleInterval:   w.SampleInterval,
 		StepMode:         w.StepMode,
+		AdaptStrategy:    w.AdaptStrategy,
+		AdaptInterval:    w.AdaptInterval,
+		AdaptSeed:        w.AdaptSeed,
 	}
 }
 
@@ -158,6 +179,16 @@ func (s JobSpec) Validate() error {
 	}
 	if s.CaptureWindows && s.Config.SampleInterval <= 0 {
 		return fmt.Errorf("distsweep: capture_windows requires a positive sample_interval")
+	}
+	if s.Config.Policy == core.Adaptive {
+		// The worker will rebuild the chooser from the strategy name, so an
+		// unknown name must fail here as a permanent error, not mid-batch.
+		if _, err := adaptive.New(s.Config.AdaptStrategy, s.Config.AdaptSeed); err != nil {
+			return err
+		}
+	} else if s.Config.AdaptStrategy != "" {
+		return fmt.Errorf("distsweep: adapt_strategy %q on non-adaptive policy %v",
+			s.Config.AdaptStrategy, s.Config.Policy)
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"testing"
 
+	"specfetch/internal/adaptive"
 	"specfetch/internal/cache"
 	"specfetch/internal/core"
 	"specfetch/internal/metrics"
@@ -75,6 +76,19 @@ func fixtureBatch() Batch {
 				},
 				Seed:  0x5eed,
 				Insts: 100_000,
+			},
+			{
+				// Adaptive job: the meta-policy crosses the wire as a strategy
+				// name, interval, and seed; the worker rebuilds the chooser.
+				Profile: fixtureProfile(),
+				Config: WireConfig{
+					Policy: core.Adaptive, FetchWidth: 4, MaxUnresolved: 4,
+					MissPenalty: 20, DecodeLatency: 2, ResolveLatency: 4,
+					ICache:        cache.Config{SizeBytes: 8 * 1024, LineBytes: 32, Assoc: 1},
+					AdaptStrategy: "tournament", AdaptInterval: 10_000, AdaptSeed: 0xada9,
+				},
+				Seed:  0x5eed,
+				Insts: 150_000,
 			},
 		},
 	}
@@ -181,6 +195,28 @@ func TestWireAdditive(t *testing.T) {
 	if bytes.Contains(raw, []byte("window_series")) {
 		t.Errorf("window-free result encodes window_series: %s", raw)
 	}
+
+	// The adaptive extension is additive the same way: a pre-adaptive peer's
+	// WireConfig decodes with the adapt fields zero, and static-policy
+	// configs encode without the new keys.
+	oldCfg := []byte(`{"policy":2,"fetch_width":4,"max_unresolved":4,"miss_penalty":5,` +
+		`"decode_latency":2,"resolve_latency":4,"icache":{}}`)
+	var wc WireConfig
+	if err := json.Unmarshal(oldCfg, &wc); err != nil {
+		t.Fatalf("old wire config encoding rejected: %v", err)
+	}
+	if wc.AdaptStrategy != "" || wc.AdaptInterval != 0 || wc.AdaptSeed != 0 {
+		t.Errorf("old wire config decoded with non-zero adapt fields: %+v", wc)
+	}
+	raw, err = json.Marshal(WireConfig{Policy: core.Resume, FetchWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"adapt_strategy", "adapt_interval", "adapt_seed"} {
+		if bytes.Contains(raw, []byte(key)) {
+			t.Errorf("static-policy config encodes %q: %s", key, raw)
+		}
+	}
 }
 
 // checkGolden marshals v indented and compares against the golden file,
@@ -261,6 +297,9 @@ func TestConfigRoundTrip(t *testing.T) {
 	cfg.FlushInterval = 50_000
 	cfg.SampleInterval = 1_000
 	cfg.StepMode = core.StepReference
+	cfg.AdaptStrategy = "egreedy"
+	cfg.AdaptInterval = 25_000
+	cfg.AdaptSeed = 99
 
 	w, err := FromConfig(cfg)
 	if err != nil {
@@ -283,6 +322,18 @@ func TestFromConfigRejectsInProcessState(t *testing.T) {
 	cfg.OnRightPathAccess = func(int64, uint64, bool) {}
 	if _, err := FromConfig(cfg); err == nil {
 		t.Error("FromConfig accepted a config with OnRightPathAccess")
+	}
+	cfg = core.DefaultConfig()
+	cfg.Policy = core.Adaptive
+	cfg.AdaptInterval = 10_000
+	cfg.AdaptStrategy = "ucb"
+	cfg.Chooser, _ = adaptive.New(cfg.AdaptStrategy, 0)
+	if _, err := FromConfig(cfg); err == nil {
+		t.Error("FromConfig accepted a config with a constructed Chooser")
+	}
+	cfg.Chooser = nil // strategy-by-name is the serializable form
+	if _, err := FromConfig(cfg); err != nil {
+		t.Errorf("FromConfig rejected a chooser-free adaptive config: %v", err)
 	}
 }
 
@@ -326,6 +377,26 @@ func TestJobSpecValidate(t *testing.T) {
 	good.CaptureWindows = true // fixture carries SampleInterval 10_000
 	if err := good.Validate(); err != nil {
 		t.Errorf("capturing spec with an interval rejected: %v", err)
+	}
+
+	adapt := fixtureBatch().Jobs[2]
+	if err := adapt.Validate(); err != nil {
+		t.Fatalf("adaptive fixture spec invalid: %v", err)
+	}
+	bad = adapt
+	bad.Config.AdaptStrategy = "bandit"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown adapt strategy accepted")
+	}
+	bad = adapt
+	bad.Config.AdaptInterval = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("adaptive spec without an interval accepted")
+	}
+	bad = good
+	bad.Config.AdaptStrategy = "tournament" // on a non-adaptive policy
+	if err := bad.Validate(); err == nil {
+		t.Error("strategy on a static-policy spec accepted")
 	}
 }
 

@@ -67,6 +67,15 @@ type Options struct {
 	// instruction-count boundaries. Like AuditSample it is observe-only:
 	// simulated results are bit-identical with it on or off.
 	SampleInterval int64
+	// FlushInterval, when positive, stamps Config.FlushInterval onto the
+	// cells of the studies that honor it (the oracle selector and the
+	// adaptive study): the I-cache is invalidated every FlushInterval
+	// correct-path instructions, modeling periodic context switches. Unlike
+	// SampleInterval this is NOT observe-only — it changes simulated
+	// results — which is why it only applies to the studies whose question
+	// ("does adaptation pay under phased behavior?") it defines. Zero keeps
+	// every cache warm for the whole run, the historical behavior.
+	FlushInterval int64
 	// CaptureWindows returns each cell's per-interval window series
 	// (obs.WindowRecord) alongside its Result — the raw material of the
 	// interval-analytics builders. Requires a positive SampleInterval. The

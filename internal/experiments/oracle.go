@@ -182,6 +182,7 @@ func OracleSelectorData(opt Options, interval int64, penalties []int) (*OracleDa
 			for _, pol := range pols {
 				cfg := baseConfig(pol)
 				cfg.MissPenalty = pen
+				cfg.FlushInterval = opt.FlushInterval
 				cells = append(cells, newCell(b, cfg))
 			}
 		}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this test binary was built with the race
+// detector, letting instruction-heavy acceptance tests (whose coverage is
+// numerical, not concurrent) skip the ~10x memory-instrumentation cost.
+const raceEnabled = true

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"specfetch/internal/adaptive"
 	"specfetch/internal/bpred"
 	"specfetch/internal/core"
 	"specfetch/internal/distsweep"
@@ -314,6 +315,17 @@ func simulateCell(c runCell, opt Options, rd trace.Reader, arena *core.Arena) (c
 	cfg.MaxInsts = opt.Insts
 	cfg.StepMode = opt.stepMode()
 	cfg.Arena = arena
+	if cfg.Policy == core.Adaptive && cfg.Chooser == nil {
+		// Cells travel chooser-free (the chooser is in-process-only state, so
+		// a cell that carried one could not go to the fleet); the chooser is
+		// built here, just in time, from the serializable strategy name and
+		// seed — the same code path on a pool worker and a remote daemon.
+		ch, cerr := adaptive.New(cfg.AdaptStrategy, cfg.AdaptSeed)
+		if cerr != nil {
+			return core.Result{}, nil, cerr
+		}
+		cfg.Chooser = ch
+	}
 	if opt.SampleInterval > 0 {
 		cfg.SampleInterval = opt.SampleInterval
 	}

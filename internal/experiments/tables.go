@@ -373,6 +373,8 @@ func shortPolicy(p core.Policy) string {
 		return "Pess"
 	case core.Decode:
 		return "Dec"
+	case core.Adaptive:
+		return "Adpt"
 	}
 	return p.String()
 }

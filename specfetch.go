@@ -21,6 +21,7 @@ package specfetch
 import (
 	"io"
 
+	"specfetch/internal/adaptive"
 	"specfetch/internal/bpred"
 	"specfetch/internal/cache"
 	"specfetch/internal/classify"
@@ -47,11 +48,39 @@ const (
 	Decode      = core.Decode
 )
 
-// Policies lists all policies in the paper's presentation order.
+// Adaptive is the online meta-policy: the engine re-selects one of the five
+// static policies at every AdaptInterval-instruction window boundary by
+// consulting a Chooser. Config must carry a positive AdaptInterval and a
+// Chooser (build one with NewChooser); see DESIGN.md §16.
+const Adaptive = core.Adaptive
+
+// Policies lists the five static policies in the paper's presentation
+// order. The Adaptive meta-policy is deliberately excluded: it selects over
+// this set rather than belonging to it.
 func Policies() []Policy { return core.Policies() }
 
-// ParsePolicy parses a policy name ("oracle", "optimistic", ...).
+// ParsePolicy parses a policy name ("oracle", "optimistic", ...,
+// "adaptive").
 func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
+
+// Chooser is the strategy interface behind the Adaptive meta-policy: First
+// names the policy for the opening window, and Decide consumes each
+// completed window's digest to name the policy for the next one. Choosers
+// must be deterministic state machines (see internal/adaptive).
+type Chooser = core.Chooser
+
+// AdaptWindow is the per-window counter digest delivered to a Chooser at
+// every Adaptive window boundary.
+type AdaptWindow = core.AdaptWindow
+
+// NewChooser builds an adaptive chooser strategy by name — one of
+// ChooserStrategies: "tournament", "ucb", "egreedy", "phase:<period>", or
+// "pinned:<policy>". The seed feeds randomized strategies (egreedy);
+// deterministic ones accept and ignore it.
+func NewChooser(strategy string, seed uint64) (Chooser, error) { return adaptive.New(strategy, seed) }
+
+// ChooserStrategies lists the recognized adaptive strategy names.
+func ChooserStrategies() []string { return adaptive.Names() }
 
 // Config parameterizes one simulation run (machine widths, latencies,
 // cache geometry, prefetching, instruction budget).

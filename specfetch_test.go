@@ -44,6 +44,79 @@ func TestPolicyParsing(t *testing.T) {
 	}
 }
 
+// TestAdaptiveFacade drives the Adaptive meta-policy end to end through
+// the façade: a pinned chooser must reproduce the static run bit for bit,
+// and a real strategy must run (and report its switches) deterministically.
+func TestAdaptiveFacade(t *testing.T) {
+	if got, err := specfetch.ParsePolicy("adaptive"); err != nil || got != specfetch.Adaptive {
+		t.Fatalf("ParsePolicy(adaptive) = %v, %v", got, err)
+	}
+	for _, p := range specfetch.Policies() {
+		if p == specfetch.Adaptive {
+			t.Fatal("Policies() lists the Adaptive meta-policy")
+		}
+	}
+	if len(specfetch.ChooserStrategies()) == 0 {
+		t.Fatal("no chooser strategies advertised")
+	}
+	if _, err := specfetch.NewChooser("bogus", 0); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+
+	bench, err := specfetch.BuildBenchmark(specfetch.GCC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := specfetch.DefaultConfig()
+	static.Policy = specfetch.Resume
+	want, err := specfetch.RunBenchmark(bench, static, 100_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := specfetch.DefaultConfig()
+	cfg.Policy = specfetch.Adaptive
+	cfg.AdaptInterval = 10_000
+	cfg.Chooser, err = specfetch.NewChooser("pinned:resume", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := specfetch.RunBenchmark(bench, cfg, 100_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PolicySwitches != 0 {
+		t.Errorf("pinned chooser switched %d times", got.PolicySwitches)
+	}
+	got.Policy = want.Policy // the echoed policy is the one legitimate difference
+	if got != want {
+		t.Errorf("adaptive pinned to resume differs from static resume:\n%+v\n%+v", got, want)
+	}
+
+	cfg.Chooser, err = specfetch.NewChooser("tournament", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := specfetch.RunBenchmark(bench, cfg, 100_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PolicySwitches == 0 {
+		t.Error("tournament strategy never switched over its opening round")
+	}
+	cfg.Chooser, err = specfetch.NewChooser("tournament", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := specfetch.RunBenchmark(bench, cfg, 100_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("adaptive runs with identical choosers differ:\n%+v\n%+v", a, b)
+	}
+}
+
 func TestProfileLookup(t *testing.T) {
 	if len(specfetch.Profiles()) != 13 {
 		t.Errorf("profiles = %d, want 13", len(specfetch.Profiles()))
